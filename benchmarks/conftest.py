@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(Sec. 4) on the simulated testbeds and checks the *shape* criteria listed
+in EXPERIMENTS.md.  Message counts are scaled down from the paper's
+500-1000 so the whole suite runs in minutes; set ``REPRO_BENCH_MESSAGES``
+to raise them (e.g. ``REPRO_BENCH_MESSAGES=500`` for a paper-sized run).
+"""
+
+import os
+import sys
+
+import pytest
+
+#: default per-experiment message budget (the paper used 500-1000)
+DEFAULT_MESSAGES = int(os.environ.get("REPRO_BENCH_MESSAGES", "24"))
+
+
+def bench_messages(scale: float = 1.0, minimum: int = 6) -> int:
+    return max(minimum, int(DEFAULT_MESSAGES * scale))
+
+
+def emit(text: str) -> None:
+    """Print a paper-style report block (survives pytest capture via -s,
+    and is always visible in the captured-output section on failure)."""
+    print("\n" + text, file=sys.stderr)
+
+
+@pytest.fixture
+def report_sink():
+    return emit

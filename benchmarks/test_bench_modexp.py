@@ -1,0 +1,61 @@
+"""Hardware tables (Sec. 4): the ``exp`` column.
+
+The paper characterizes every testbed machine by the time of one 1024-bit
+modular exponentiation (55-427 ms).  This benchmark measures the same
+operation on the present machine (pure Python) and checks that the cost
+model reproduces the paper's per-host figures exactly in simulated time.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import arith
+from repro.crypto.opcount import OpCounter
+from repro.net.costmodel import CostModel, INTERNET_HOSTS, LAN_HOSTS
+
+from conftest import emit
+
+
+def _modexp_args(bits=1024, seed=5):
+    rng = random.Random(seed)
+    m = arith.gen_prime(bits, rng)
+    b = rng.randrange(2, m)
+    e = rng.getrandbits(bits) | (1 << (bits - 1))
+    return b, e, m
+
+
+@pytest.mark.benchmark(group="hardware-table")
+def test_modexp_1024_this_machine(benchmark):
+    """Wall-clock 1024-bit modular exponentiation on this host."""
+    b, e, m = _modexp_args()
+    result = benchmark(pow, b, e, m)
+    assert 0 < result < m
+    emit(
+        "Hardware table ('exp' column, 1024-bit modexp):\n"
+        "  paper hosts: "
+        + ", ".join(f"{h.name}/{h.location}={h.exp_ms:.0f}ms" for h in INTERNET_HOSTS)
+    )
+
+
+@pytest.mark.benchmark(group="hardware-table")
+def test_cost_model_reproduces_exp_column(benchmark):
+    """One full 1024-bit exponentiation costs exactly exp_ms per host."""
+
+    def simulate():
+        out = {}
+        for host in LAN_HOSTS + INTERNET_HOSTS:
+            counter = OpCounter()
+            counter.add(1024, 1024)
+            out[f"{host.name}@{host.location}"] = (
+                CostModel(host).seconds(counter) * 1000.0
+            )
+        return out
+
+    measured = benchmark(simulate)
+    for host in LAN_HOSTS + INTERNET_HOSTS:
+        assert measured[f"{host.name}@{host.location}"] == pytest.approx(host.exp_ms)
+    emit(
+        "Cost model check: simulated exp times match the paper's hardware "
+        "tables for all 8 host entries."
+    )

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: secure intrusion-tolerant replication in ~30 lines.
+
+Sets up a SINTRA group of n=4 servers tolerating t=1 Byzantine fault
+(dealt by the trusted dealer), opens an atomic broadcast channel, sends a
+few messages from different servers concurrently, and shows that every
+server delivers exactly the same sequence — the total order that makes
+state-machine replication work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_group
+
+
+def main() -> None:
+    # One call: trusted dealer + simulated LAN + a Party handle per server.
+    rt, parties = quick_group(n=4, t=1, seed=2026)
+    channels = [p.atomic_channel("quickstart") for p in parties]
+
+    # Three servers send concurrently.
+    channels[0].send(b"alpha")
+    channels[1].send(b"bravo")
+    channels[2].send(b"charlie")
+    channels[0].send(b"delta")
+
+    # Read four deliveries on every server.
+    sequences = {i: [] for i in range(4)}
+
+    def reader(i):
+        while len(sequences[i]) < 4:
+            payload = yield channels[i].receive()
+            sequences[i].append(payload)
+
+    procs = [rt.spawn(reader(i)) for i in range(4)]
+    for p in procs:
+        rt.run_until(p.future, limit=600)
+
+    print("Delivered sequences (simulated time %.2fs):" % rt.now)
+    for i, seq in sequences.items():
+        print(f"  server {i}: {[m.decode() for m in seq]}")
+
+    reference = sequences[0]
+    assert all(seq == reference for seq in sequences.values()), "total order!"
+    print("\nAll four servers delivered the SAME sequence — atomic broadcast")
+    print("gives state-machine replication for free (paper Sec. 2.5).")
+
+    # Close the channel: termination needs t+1 = 2 close requests.
+    for ch in channels:
+        ch.close()
+    rt.run_all([ch.closed for ch in channels], limit=600)
+    print("Channel closed cleanly after t+1 termination requests.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The same SINTRA stack on a *real* TCP network.
+
+Everything in the other examples ran under the deterministic network
+simulator.  The protocol implementations are sans-I/O, so they also run
+unchanged over asyncio TCP with HMAC-authenticated links — the transport
+the paper's prototype used (Sec. 3).  This example starts four servers on
+localhost ports, opens an atomic broadcast channel across them, and checks
+the total order over actual sockets.
+
+Run:  python examples/real_network.py
+"""
+
+import asyncio
+
+from repro.core.channel import AtomicChannel
+from repro.crypto import SecurityParams, fast_group
+from repro.net.tcp import TcpNode, local_endpoints
+
+
+async def main() -> None:
+    group = fast_group(4, 1, SecurityParams.toy(), seed=1234)
+    endpoints = local_endpoints(4, base_port=47412)
+    nodes = [TcpNode(group, i, endpoints) for i in range(4)]
+    await asyncio.gather(*(node.start() for node in nodes))
+    print("4 servers listening on", ", ".join(f"{h}:{p}" for h, p in endpoints))
+
+    channels = [AtomicChannel(node.ctx, "tcp-demo") for node in nodes]
+    for k in range(3):
+        channels[k % 4].send(b"msg-%d" % k)
+
+    async def drain(ch):
+        out = []
+        while len(out) < 3:
+            out.append(await ch.receive())
+        return out
+
+    sequences = await asyncio.wait_for(
+        asyncio.gather(*(drain(ch) for ch in channels)), timeout=60
+    )
+    print("Delivered over real TCP sockets:")
+    for i, seq in enumerate(sequences):
+        print(f"  server {i}: {[m.decode() for m in seq]}")
+    assert all(seq == sequences[0] for seq in sequences), "total order!"
+    print("Total order holds over the real network, with HMAC-authenticated")
+    print("links and the identical protocol code that ran in the simulator.")
+
+    await asyncio.gather(*(node.stop() for node in nodes))
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

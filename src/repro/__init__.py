@@ -1,0 +1,94 @@
+"""SINTRA — Secure INtrusion-Tolerant Replication Architecture.
+
+A complete Python reproduction of Cachin & Poritz, *"Secure
+Intrusion-tolerant Replication on the Internet"* (DSN 2002): threshold
+cryptography (Shoup RSA threshold signatures, multi-signatures, the
+Cachin-Kursawe-Shoup Diffie-Hellman threshold coin, the Shoup-Gennaro
+TDH2 cryptosystem), broadcast primitives (reliable / consistent /
+verifiable consistent broadcast), randomized Byzantine agreement (binary,
+validated, multi-valued), and broadcast channels (atomic, secure causal
+atomic, reliable, consistent), plus a discrete-event simulation of the
+paper's LAN and three-continent Internet testbeds.
+
+Quick start::
+
+    from repro import quick_group
+
+    rt, parties = quick_group(n=4, t=1, seed=7)
+    channels = [p.atomic_channel("demo") for p in parties]
+    channels[0].send(b"hello, replicated world")
+    payloads = rt.run_all([ch.receive() for ch in channels])
+    assert len(set(payloads)) == 1   # total order: everyone sees the same
+"""
+
+from repro.crypto import Dealer, GroupConfig, SecurityParams, fast_group
+from repro.core import (
+    Agreement,
+    ArrayAgreement,
+    AtomicChannel,
+    BinaryAgreement,
+    Channel,
+    ConsistentBroadcast,
+    ConsistentChannel,
+    Party,
+    ReliableBroadcast,
+    ReliableChannel,
+    SecureAtomicChannel,
+    ValidatedAgreement,
+    VerifiableConsistentBroadcast,
+    make_parties,
+)
+from repro.net import SimRuntime, lan_latency
+
+__version__ = "1.0.0"
+
+
+def quick_group(
+    n: int = 4,
+    t: int = 1,
+    seed: object = 0,
+    security: "SecurityParams | None" = None,
+    latency=None,
+    hosts=None,
+    **runtime_kwargs,
+):
+    """Deal a group, start a simulated runtime and return ``(rt, parties)``.
+
+    The one-call setup used by the examples: a trusted dealer generates all
+    keys (paper Sec. 2), a simulated network connects the ``n`` servers
+    (LAN latency by default), and a :class:`~repro.core.party.Party` handle
+    per server exposes the protocol factory.
+    """
+    group = fast_group(n, t, security or SecurityParams.toy(), seed=seed)
+    rt = SimRuntime(
+        group,
+        latency=latency or lan_latency(),
+        hosts=hosts,
+        seed=seed,
+        **runtime_kwargs,
+    )
+    return rt, make_parties(rt)
+
+
+__all__ = [
+    "quick_group",
+    "Dealer",
+    "GroupConfig",
+    "SecurityParams",
+    "fast_group",
+    "Party",
+    "make_parties",
+    "ReliableBroadcast",
+    "ConsistentBroadcast",
+    "VerifiableConsistentBroadcast",
+    "Agreement",
+    "BinaryAgreement",
+    "ValidatedAgreement",
+    "ArrayAgreement",
+    "Channel",
+    "AtomicChannel",
+    "SecureAtomicChannel",
+    "ReliableChannel",
+    "ConsistentChannel",
+    "SimRuntime",
+]

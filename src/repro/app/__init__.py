@@ -1,0 +1,26 @@
+"""Application layer: state-machine replication over atomic broadcast."""
+
+from repro.app.replication import ReplicatedService, StateMachine
+from repro.app.kvstore import KVStore, ReplicatedKVStore
+from repro.app.ca import (
+    CARegistry,
+    ReplicatedCA,
+    certificate_statement,
+    combine_certificate,
+    verify_certificate,
+)
+from repro.app.ledger import Ledger, ReplicatedLedger
+
+__all__ = [
+    "StateMachine",
+    "ReplicatedService",
+    "KVStore",
+    "ReplicatedKVStore",
+    "CARegistry",
+    "ReplicatedCA",
+    "certificate_statement",
+    "combine_certificate",
+    "verify_certificate",
+    "Ledger",
+    "ReplicatedLedger",
+]

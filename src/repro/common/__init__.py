@@ -1,0 +1,26 @@
+"""Shared utilities: errors, canonical encoding, protocol identifiers."""
+
+from repro.common.errors import (
+    ReproError,
+    CryptoError,
+    InvalidShare,
+    InvalidSignature,
+    InvalidCiphertext,
+    ProtocolError,
+    ConfigError,
+    TransportError,
+)
+from repro.common.encoding import encode, decode
+
+__all__ = [
+    "ReproError",
+    "CryptoError",
+    "InvalidShare",
+    "InvalidSignature",
+    "InvalidCiphertext",
+    "ProtocolError",
+    "ConfigError",
+    "TransportError",
+    "encode",
+    "decode",
+]

@@ -1,0 +1,141 @@
+"""Canonical, deterministic binary encoding for protocol and crypto payloads.
+
+Every value that is hashed, signed, MAC-ed or sent over the wire in this
+package is first serialized with :func:`encode`.  The format is a simple
+length-prefixed tag-value scheme:
+
+======  =======================================================
+tag     payload
+======  =======================================================
+``N``   none (no payload)
+``T``   true (no payload)
+``F``   false (no payload)
+``I``   4-byte length, sign byte (``+``/``-``), magnitude bytes
+``B``   4-byte length, raw bytes
+``S``   4-byte length, UTF-8 bytes
+``L``   4-byte count, encoded items (decodes to ``list``)
+``U``   4-byte count, encoded items (decodes to ``tuple``)
+======  =======================================================
+
+The encoding is canonical: equal values always produce equal byte strings,
+which is required for signatures and hashes to be well-defined.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+from repro.common.errors import EncodingError
+
+_LEN = struct.Struct(">I")
+
+
+def encode(value: Any) -> bytes:
+    """Serialize ``value`` into canonical bytes.
+
+    Supported types: ``None``, ``bool``, ``int``, ``bytes``, ``str``,
+    ``list`` and ``tuple`` (recursively).
+    """
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, int):
+        mag = abs(value)
+        body = mag.to_bytes((mag.bit_length() + 7) // 8, "big") if mag else b""
+        out.append(b"I")
+        out.append(_LEN.pack(len(body)))
+        out.append(b"-" if value < 0 else b"+")
+        out.append(body)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(b"B")
+        out.append(_LEN.pack(len(data)))
+        out.append(data)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(b"S")
+        out.append(_LEN.pack(len(data)))
+        out.append(data)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"L" if isinstance(value, list) else b"U")
+        out.append(_LEN.pack(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    else:
+        raise EncodingError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode canonical bytes back into a value.
+
+    Raises :class:`~repro.common.errors.EncodingError` on malformed input or
+    trailing garbage.
+    """
+    value, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise EncodingError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+def _read_len(data: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 4 > len(data):
+        raise EncodingError("truncated length prefix")
+    return _LEN.unpack_from(data, offset)[0], offset + 4
+
+
+def _decode_from(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise EncodingError("truncated input: missing tag")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag == b"I":
+        length, offset = _read_len(data, offset)
+        if offset + 1 + length > len(data):
+            raise EncodingError("truncated integer")
+        sign = data[offset : offset + 1]
+        if sign not in (b"+", b"-"):
+            raise EncodingError(f"bad integer sign byte {sign!r}")
+        offset += 1
+        mag = int.from_bytes(data[offset : offset + length], "big")
+        offset += length
+        if sign == b"-":
+            if mag == 0:
+                raise EncodingError("negative zero is not canonical")
+            mag = -mag
+        return mag, offset
+    if tag in (b"B", b"S"):
+        length, offset = _read_len(data, offset)
+        if offset + length > len(data):
+            raise EncodingError("truncated bytes/string")
+        raw = data[offset : offset + length]
+        offset += length
+        if tag == b"B":
+            return raw, offset
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise EncodingError("invalid UTF-8 in string") from exc
+    if tag in (b"L", b"U"):
+        count, offset = _read_len(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+        return (items if tag == b"L" else tuple(items)), offset
+    raise EncodingError(f"unknown tag byte {tag!r}")

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the SINTRA reproduction.
+
+All library errors derive from :class:`ReproError` so applications can catch
+everything from this package with a single handler.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A group or protocol configuration is invalid (e.g. ``n <= 3t``)."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidShare(CryptoError):
+    """A threshold share (signature, coin, or decryption) failed verification."""
+
+
+class InvalidSignature(CryptoError):
+    """A digital signature or MAC failed verification."""
+
+
+class InvalidCiphertext(CryptoError):
+    """A ciphertext failed its validity check (TDH2 NIZK or framing)."""
+
+
+class EncodingError(ReproError):
+    """A byte string could not be decoded as a canonical value."""
+
+
+class ProtocolError(ReproError):
+    """A protocol instance was driven incorrectly (e.g. ``send`` twice)."""
+
+
+class ChannelCongested(ProtocolError):
+    """A bounded channel's send buffer is full (the paper's blocking
+    ``send``; check ``can_send()`` first, retry after deliveries)."""
+
+
+class TransportError(ReproError):
+    """A network-transport-level failure."""

@@ -1,0 +1,44 @@
+"""The SINTRA protocol stack (paper Sec. 2): broadcast primitives,
+Byzantine agreement and broadcast channels on top of threshold
+cryptography and reliable point-to-point links."""
+
+from repro.core.protocol import Context, Protocol, Router
+from repro.core.party import Party, make_parties
+from repro.core.broadcast import (
+    ConsistentBroadcast,
+    ReliableBroadcast,
+    VerifiableConsistentBroadcast,
+)
+from repro.core.agreement import (
+    Agreement,
+    ArrayAgreement,
+    BinaryAgreement,
+    ValidatedAgreement,
+)
+from repro.core.channel import (
+    AtomicChannel,
+    Channel,
+    ConsistentChannel,
+    ReliableChannel,
+    SecureAtomicChannel,
+)
+
+__all__ = [
+    "Context",
+    "Protocol",
+    "Router",
+    "Party",
+    "make_parties",
+    "ReliableBroadcast",
+    "ConsistentBroadcast",
+    "VerifiableConsistentBroadcast",
+    "Agreement",
+    "BinaryAgreement",
+    "ValidatedAgreement",
+    "ArrayAgreement",
+    "Channel",
+    "AtomicChannel",
+    "SecureAtomicChannel",
+    "ReliableChannel",
+    "ConsistentChannel",
+]

@@ -1,0 +1,13 @@
+"""Byzantine agreement protocols (paper Secs. 2.3, 2.4 and 3.3)."""
+
+from repro.core.agreement.base import Agreement
+from repro.core.agreement.binary import BinaryAgreement
+from repro.core.agreement.validated import ValidatedAgreement
+from repro.core.agreement.multivalued import ArrayAgreement
+
+__all__ = [
+    "Agreement",
+    "BinaryAgreement",
+    "ValidatedAgreement",
+    "ArrayAgreement",
+]

@@ -1,0 +1,58 @@
+"""Common base for the agreement protocols.
+
+The paper's ``Agreement`` interface: a party ``proposes`` a value once and
+``decides`` exactly once; ``negotiate`` is propose-then-decide.  The
+decision is exposed as a future resolving with ``(value, proof)`` where
+``proof`` is the validation data of validated agreement (``None``
+otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.common.errors import ProtocolError
+from repro.core.protocol import Context, Protocol
+
+
+class Agreement(Protocol):
+    """Abstract agreement instance."""
+
+    def __init__(self, ctx: Context, pid: str):
+        super().__init__(ctx, pid)
+        self.decided = ctx.new_future()
+        #: optional synchronous hook for parent protocols, invoked inside
+        #: the deciding handler as ``on_decide(self, value, proof)``.
+        self.on_decide: Optional[Any] = None
+        self._proposed = False
+        self._concluded = False
+
+    # -- paper API ---------------------------------------------------------------
+
+    def propose(self, value: Any, proof: Optional[bytes] = None) -> None:
+        """Start this party's participation with its proposal (once)."""
+        if self._proposed:
+            raise ProtocolError("propose may be executed exactly once")
+        self._proposed = True
+        self.ctx.api(lambda: self._start(value, proof))
+
+    def decide(self) -> Any:
+        """The future resolving with ``(value, proof)``."""
+        return self.decided
+
+    def can_decide(self) -> bool:
+        return bool(self.decided.done)
+
+    # -- subclass hook -------------------------------------------------------------
+
+    def _start(self, value: Any, proof: Optional[bytes]) -> None:
+        raise NotImplementedError
+
+    def _conclude(self, value: Any, proof: Optional[bytes]) -> None:
+        """Resolve the decision (the paper's DECIDE event) and terminate."""
+        if not self._concluded:
+            self._concluded = True
+            self.ctx.effect(self.decided.resolve, (value, proof))
+            self.halt()
+            if self.on_decide is not None:
+                self.on_decide(self, value, proof)

@@ -1,0 +1,45 @@
+"""Validated (binary) Byzantine agreement (paper Secs. 2.3 and 3.3).
+
+Binary agreement with *external validity*: initial values are accompanied
+by a validating proof, whose validity in the application's context is
+established by a :data:`BinaryValidator` predicate; an honest party may
+only decide a value for which it possesses validation data, and
+``get_proof`` returns it together with the decision.
+
+The agreement can be *biased*: a biased instance always decides the
+preferred value when it detects that an honest party proposed it; per the
+paper this is obtained by replacing the output of the round-1 threshold
+coin with the bias.
+
+The whole mechanism lives in :class:`~repro.core.agreement.binary.
+BinaryAgreement`; this subclass fixes the paper's API shape (mandatory
+validator, constructor bias).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ProtocolError
+from repro.core.agreement.binary import BinaryAgreement, BinaryValidator
+from repro.core.protocol import Context
+
+
+class ValidatedAgreement(BinaryAgreement):
+    """Validated binary agreement with an optional bias."""
+
+    def __init__(
+        self,
+        ctx: Context,
+        pid: str,
+        validator: BinaryValidator,
+        bias: Optional[int] = None,
+    ):
+        if validator is None:
+            raise ProtocolError("validated agreement requires a validator")
+        super().__init__(ctx, pid, validator=validator, bias=bias)
+
+    def negotiate(self, value: int, proof: Optional[bytes]) -> object:
+        """Propose and return the decision future."""
+        self.propose(value, proof)
+        return self.decided

@@ -1,0 +1,11 @@
+"""Broadcast primitives (paper Sec. 2.2 and 3.2)."""
+
+from repro.core.broadcast.reliable import ReliableBroadcast
+from repro.core.broadcast.consistent import ConsistentBroadcast
+from repro.core.broadcast.verifiable import VerifiableConsistentBroadcast
+
+__all__ = [
+    "ReliableBroadcast",
+    "ConsistentBroadcast",
+    "VerifiableConsistentBroadcast",
+]

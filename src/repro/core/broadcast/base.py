@@ -1,0 +1,80 @@
+"""Common base for the broadcast primitives.
+
+A broadcast disseminates one payload message from a distinguished sender
+to all parties (paper Sec. 2.2).  Local events: ``send`` (API call, sender
+only, exactly once) and ``deliver`` (the ``delivered`` future resolves with
+the payload).  Termination is guaranteed only for honest senders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.common.errors import ProtocolError
+from repro.core.protocol import Context, Protocol
+
+
+class Broadcast(Protocol):
+    """Abstract broadcast instance with a designated sender.
+
+    Following the paper's API, the protocol identifier is derived from a
+    base pid and the sender's index: ``pid = basepid + "." + sender``.
+    """
+
+    def __init__(self, ctx: Context, basepid: str, sender: int):
+        if not 0 <= sender < ctx.n:
+            raise ProtocolError(f"sender index {sender} out of range")
+        super().__init__(ctx, f"{basepid}.{sender}")
+        self.sender = sender
+        self.delivered = ctx.new_future()
+        #: optional synchronous hook for parent protocols, invoked inside
+        #: the delivering handler as ``on_deliver(self, payload)``.
+        self.on_deliver: Optional[Any] = None
+        #: the delivered payload (set synchronously at delivery; the
+        #: ``delivered`` future resolves at CPU-completion time).
+        self.payload: Optional[bytes] = None
+        self._sent = False
+        self._delivered_flag = False
+
+    # -- paper API ---------------------------------------------------------------
+
+    def get_sender(self) -> int:
+        return self.sender
+
+    def send(self, message: bytes) -> None:
+        """Start the broadcast; may only be executed by the sender, once."""
+        if self.ctx.node_id != self.sender:
+            raise ProtocolError("only the designated sender may send")
+        if self._sent:
+            raise ProtocolError("send may be executed exactly once")
+        if not isinstance(message, (bytes, bytearray)):
+            raise ProtocolError("broadcast payloads are byte strings")
+        self._sent = True
+        data = bytes(message)
+        self.ctx.api(lambda: self._start(data))
+
+    def receive(self) -> Any:
+        """The future resolving with the delivered payload."""
+        return self.delivered
+
+    def can_receive(self) -> bool:
+        return bool(self.delivered.done)
+
+    # -- subclass hooks --------------------------------------------------------
+
+    def _start(self, message: bytes) -> None:
+        raise NotImplementedError
+
+    def _deliver(self, payload: bytes) -> None:
+        """Accept the payload (the paper's DELIVER event) and terminate."""
+        if not self._delivered_flag:
+            self._delivered_flag = True
+            self.payload = payload
+            self.ctx.effect(self.delivered.resolve, payload)
+            self._on_delivered(payload)
+            self.halt()
+            if self.on_deliver is not None:
+                self.on_deliver(self, payload)
+
+    def _on_delivered(self, payload: bytes) -> None:
+        """Hook for subclasses needing to record delivery context."""

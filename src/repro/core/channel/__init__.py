@@ -1,0 +1,19 @@
+"""Broadcast channels (paper Secs. 2.5-2.7 and 3.4)."""
+
+from repro.core.channel.base import Channel
+from repro.core.channel.atomic import AtomicChannel
+from repro.core.channel.secure import SecureAtomicChannel
+from repro.core.channel.reliable_channel import ReliableChannel
+from repro.core.channel.consistent_channel import ConsistentChannel
+from repro.core.channel.optimistic import OptimisticAtomicChannel
+from repro.core.channel.stability import StabilizedConsistentChannel
+
+__all__ = [
+    "Channel",
+    "AtomicChannel",
+    "SecureAtomicChannel",
+    "ReliableChannel",
+    "ConsistentChannel",
+    "OptimisticAtomicChannel",
+    "StabilizedConsistentChannel",
+]

@@ -1,0 +1,18 @@
+"""Reliable channel: aggregated Bracha broadcasts (paper Sec. 2.7).
+
+Provides the ``Channel`` interface over ``n`` parallel reliable-broadcast
+instances: *agreement* for every delivered message, but no ordering across
+messages.  No public-key operations at all, which makes it the fastest
+channel in most of the paper's settings (Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.broadcast.reliable import ReliableBroadcast
+from repro.core.channel.aggregated import BroadcastChannel
+
+
+class ReliableChannel(BroadcastChannel):
+    """Aggregated reliable broadcast."""
+
+    broadcast_cls = ReliableBroadcast

@@ -1,0 +1,51 @@
+"""Validator interfaces for validated agreement (paper Sec. 3.3).
+
+In the Java prototype these are the abstract classes ``BinaryValidator``
+(``isValid(boolean value, byte[] proof)``) and ``ArrayValidator``
+(``isValid(byte[] value)``).  In Python a validator is simply a callable;
+these aliases and adapters document the expected signatures and allow
+class-style validators for API parity with the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+#: ``(value, proof) -> bool``
+BinaryValidator = Callable[[int, Optional[bytes]], bool]
+
+#: ``(value) -> bool``
+ArrayValidator = Callable[[bytes], bool]
+
+
+class BinaryValidatorBase(abc.ABC):
+    """Class-style binary validator (the paper's ``BinaryValidator``)."""
+
+    @abc.abstractmethod
+    def is_valid(self, value: int, proof: Optional[bytes]) -> bool:
+        """Return whether ``proof`` establishes the validity of ``value``."""
+
+    def __call__(self, value: int, proof: Optional[bytes]) -> bool:
+        return self.is_valid(value, proof)
+
+
+class ArrayValidatorBase(abc.ABC):
+    """Class-style array validator (the paper's ``ArrayValidator``)."""
+
+    @abc.abstractmethod
+    def is_valid(self, value: bytes) -> bool:
+        """Return whether ``value`` is acceptable in this context."""
+
+    def __call__(self, value: bytes) -> bool:
+        return self.is_valid(value)
+
+
+def accept_all_binary(value: int, proof: Optional[bytes]) -> bool:
+    """The trivial binary predicate (plain binary agreement)."""
+    return True
+
+
+def accept_all_array(value: bytes) -> bool:
+    """The trivial array predicate."""
+    return True

@@ -1,0 +1,57 @@
+"""Threshold cryptography substrate (paper Sec. 2.1 and 3.1).
+
+Non-interactive, robust threshold schemes for digital signatures
+(:mod:`~repro.crypto.threshold_sig`), coin-tossing
+(:mod:`~repro.crypto.coin`) and public-key encryption
+(:mod:`~repro.crypto.threshold_enc`), plus the standard RSA signatures,
+HMAC link authentication and the trusted dealer that initializes a group.
+"""
+
+from repro.crypto.params import DLGroup, SecurityParams, get_dl_group, get_rsa_safe_primes
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair, keypair_from_primes
+from repro.crypto.threshold_sig import (
+    MultiSignatureScheme,
+    ShoupThresholdScheme,
+    ThresholdSignatureScheme,
+    ThresholdSigner,
+)
+from repro.crypto.coin import CoinShareHolder, ThresholdCoin
+from repro.crypto.threshold_enc import Ciphertext, TDH2Scheme, TDH2ShareHolder
+from repro.crypto.hmac_auth import LinkAuthenticator
+from repro.crypto.dealer import (
+    Dealer,
+    GroupConfig,
+    PartyCrypto,
+    SIG_MODE_MULTI,
+    SIG_MODE_SHOUP,
+    cbc_quorum,
+    fast_group,
+)
+
+__all__ = [
+    "DLGroup",
+    "SecurityParams",
+    "get_dl_group",
+    "get_rsa_safe_primes",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "generate_keypair",
+    "keypair_from_primes",
+    "MultiSignatureScheme",
+    "ShoupThresholdScheme",
+    "ThresholdSignatureScheme",
+    "ThresholdSigner",
+    "CoinShareHolder",
+    "ThresholdCoin",
+    "Ciphertext",
+    "TDH2Scheme",
+    "TDH2ShareHolder",
+    "LinkAuthenticator",
+    "Dealer",
+    "GroupConfig",
+    "PartyCrypto",
+    "SIG_MODE_MULTI",
+    "SIG_MODE_SHOUP",
+    "cbc_quorum",
+    "fast_group",
+]

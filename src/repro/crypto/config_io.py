@@ -1,0 +1,247 @@
+"""Serialization of dealt group configurations (the paper's config files).
+
+SINTRA "uses a configuration file that contains all important parameters,
+such as the identities of all parties, the system parameters n and t, the
+cryptographic key sizes etc." (Sec. 3), and the dealer's secrets "must be
+distributed to all servers in a trusted way" (Sec. 2).  This module writes
+a dealt :class:`~repro.crypto.dealer.GroupConfig` as
+
+* ``public.json`` — everything every server (and external clients of the
+  secure channel) may know: group parameters, endpoints, public keys and
+  verification keys;
+* ``party-<i>.json`` — party ``i``'s secrets: its RSA signing key, the
+  pairwise link-MAC keys, and its shares of each threshold scheme.
+
+``load_group`` reconstructs a fully functional :class:`GroupConfig` from a
+directory; ``load_party`` reconstructs a single server's
+:class:`~repro.crypto.dealer.PartyCrypto` from ``public.json`` plus its own
+secret file — a real deployment ships exactly those two files per host.
+
+Integers are encoded as decimal strings (arbitrary precision survives
+JSON), byte strings as hex.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.crypto import params as params_mod
+from repro.crypto.coin import CoinPublicKey, ThresholdCoin
+from repro.crypto.dealer import (
+    GroupConfig,
+    PartyCrypto,
+    SIG_MODE_MULTI,
+    SIG_MODE_SHOUP,
+)
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.crypto.threshold_enc import TDH2PublicKey, TDH2Scheme
+from repro.crypto.threshold_sig import (
+    MultiSignatureScheme,
+    ShoupPublicKey,
+    ShoupThresholdScheme,
+)
+
+PUBLIC_FILE = "public.json"
+
+
+def _i(value: int) -> str:
+    return str(value)
+
+
+def _pi(text: str) -> int:
+    return int(text)
+
+
+def save_group(
+    config: GroupConfig,
+    directory: str,
+    endpoints: Optional[List[Tuple[str, int]]] = None,
+) -> None:
+    """Write ``public.json`` and one ``party-<i>.json`` per server."""
+    raw = config.raw
+    if raw is None:
+        raise ConfigError("this GroupConfig carries no raw key material")
+    os.makedirs(directory, exist_ok=True)
+    n = raw["n"]
+    endpoints = endpoints or [("127.0.0.1", 47310 + i) for i in range(n)]
+    if len(endpoints) != n:
+        raise ConfigError("need one endpoint per party")
+
+    def sig_public(section: dict) -> dict:
+        out = {"k": section["k"]}
+        if "modulus" in section:
+            out.update(
+                modulus=_i(section["modulus"]),
+                e=_i(section["e"]),
+                v=_i(section["v"]),
+                vks=[_i(v) for v in section["vks"]],
+            )
+        return out
+
+    public = {
+        "format": "sintra-group-config-v1",
+        "n": raw["n"],
+        "t": raw["t"],
+        "sig_mode": raw["sig_mode"],
+        "security": raw["security"],
+        "endpoints": [f"{host}:{port}" for host, port in endpoints],
+        "party_public_keys": [
+            {"n": _i(kp["n"]), "e": _i(kp["e"])} for kp in raw["rsa"]
+        ],
+        "cbc": sig_public(raw["cbc"]),
+        "aba": sig_public(raw["aba"]),
+        "coin": {
+            "k": raw["coin"]["k"],
+            "global_vk": _i(raw["coin"]["global_vk"]),
+            "vks": [_i(v) for v in raw["coin"]["vks"]],
+        },
+        "enc": {
+            "k": raw["enc"]["k"],
+            "gbar": _i(raw["enc"]["gbar"]),
+            "h": _i(raw["enc"]["h"]),
+            "vks": [_i(v) for v in raw["enc"]["vks"]],
+        },
+    }
+    with open(os.path.join(directory, PUBLIC_FILE), "w") as f:
+        json.dump(public, f, indent=1)
+
+    for i in range(n):
+        kp = raw["rsa"][i]
+        secret = {
+            "format": "sintra-party-secrets-v1",
+            "index": i,
+            "rsa": {key: _i(kp[key]) for key in ("n", "e", "d", "p", "q")},
+            "mac": {
+                str(j): raw["mac"][f"{min(i, j)}-{max(i, j)}"]
+                for j in range(n)
+                if j != i
+            },
+            "coin_share": _i(raw["coin"]["shares"][i]),
+            "enc_share": _i(raw["enc"]["shares"][i]),
+        }
+        if raw["sig_mode"] == SIG_MODE_SHOUP:
+            secret["cbc_share"] = _i(raw["cbc"]["secrets"][i])
+            secret["aba_share"] = _i(raw["aba"]["secrets"][i])
+        with open(os.path.join(directory, f"party-{i}.json"), "w") as f:
+            json.dump(secret, f, indent=1)
+
+
+def load_public(directory: str) -> Dict[str, Any]:
+    """Read and validate ``public.json``."""
+    with open(os.path.join(directory, PUBLIC_FILE)) as f:
+        public = json.load(f)
+    if public.get("format") != "sintra-group-config-v1":
+        raise ConfigError("not a SINTRA group configuration")
+    return public
+
+
+def load_endpoints(directory: str) -> List[Tuple[str, int]]:
+    """The ``hostname:port`` identities of all parties (paper Sec. 3)."""
+    public = load_public(directory)
+    out = []
+    for endpoint in public["endpoints"]:
+        host, port = endpoint.rsplit(":", 1)
+        out.append((host, int(port)))
+    return out
+
+
+def _build_schemes(public: Dict[str, Any]):
+    n, t = public["n"], public["t"]
+    sec = public["security"]
+    group = params_mod.get_dl_group(sec["dl_bits"])
+    pub_keys = [
+        RSAPublicKey(n=_pi(kp["n"]), e=_pi(kp["e"]))
+        for kp in public["party_public_keys"]
+    ]
+
+    def sig_scheme(section: dict, domain: str):
+        if public["sig_mode"] == SIG_MODE_MULTI:
+            return MultiSignatureScheme(n, section["k"], t, pub_keys, domain)
+        shoup_pub = ShoupPublicKey(
+            modulus=_pi(section["modulus"]),
+            e=_pi(section["e"]),
+            v=_pi(section["v"]),
+            verification_keys=tuple(_pi(v) for v in section["vks"]),
+        )
+        return ShoupThresholdScheme(n, section["k"], t, shoup_pub, domain)
+
+    cbc = sig_scheme(public["cbc"], "sintra.cbc-sig")
+    aba = sig_scheme(public["aba"], "sintra.aba-sig")
+    coin = ThresholdCoin(
+        n, public["coin"]["k"], t,
+        CoinPublicKey(
+            group=group,
+            global_vk=_pi(public["coin"]["global_vk"]),
+            verification_keys=tuple(_pi(v) for v in public["coin"]["vks"]),
+        ),
+        "sintra.coin",
+    )
+    enc = TDH2Scheme(
+        n, public["enc"]["k"], t,
+        TDH2PublicKey(
+            group=group,
+            gbar=_pi(public["enc"]["gbar"]),
+            h=_pi(public["enc"]["h"]),
+            verification_keys=tuple(_pi(v) for v in public["enc"]["vks"]),
+        ),
+        "sintra.enc",
+    )
+    return pub_keys, cbc, aba, coin, enc
+
+
+def load_party(directory: str, index: int) -> PartyCrypto:
+    """Reconstruct one server's crypto bundle from its two files."""
+    public = load_public(directory)
+    with open(os.path.join(directory, f"party-{index}.json")) as f:
+        secret = json.load(f)
+    if secret.get("format") != "sintra-party-secrets-v1":
+        raise ConfigError("not a SINTRA party-secrets file")
+    if secret["index"] != index:
+        raise ConfigError("party file does not belong to this index")
+
+    n, t = public["n"], public["t"]
+    pub_keys, cbc, aba, coin, enc = _build_schemes(public)
+    rsa = RSAKeyPair(**{key: _pi(secret["rsa"][key]) for key in ("n", "e", "d", "p", "q")})
+    if public["sig_mode"] == SIG_MODE_MULTI:
+        cbc_signer = cbc.signer(index + 1, rsa)
+        aba_signer = aba.signer(index + 1, rsa)
+    else:
+        cbc_signer = cbc.signer(index + 1, _pi(secret["cbc_share"]))
+        aba_signer = aba.signer(index + 1, _pi(secret["aba_share"]))
+    return PartyCrypto(
+        index0=index,
+        n=n,
+        t=t,
+        rsa=rsa,
+        party_public_keys=pub_keys,
+        mac_keys={int(j): bytes.fromhex(key) for j, key in secret["mac"].items()},
+        cbc_scheme=cbc,
+        cbc_signer=cbc_signer,
+        aba_scheme=aba,
+        aba_signer=aba_signer,
+        coin=coin,
+        coin_holder=coin.holder(index + 1, _pi(secret["coin_share"])),
+        enc=enc,
+        enc_holder=enc.holder(index + 1, _pi(secret["enc_share"])),
+    )
+
+
+def load_group(directory: str) -> GroupConfig:
+    """Reconstruct the full group (all parties) from a directory."""
+    public = load_public(directory)
+    sec = public["security"]
+    config = GroupConfig(
+        n=public["n"],
+        t=public["t"],
+        sig_mode=public["sig_mode"],
+        security=params_mod.SecurityParams(
+            sig_modbits=sec["sig_modbits"],
+            dl_bits=sec["dl_bits"],
+            nominal_bits=sec["nominal_bits"],
+        ),
+    )
+    config.parties = [load_party(directory, i) for i in range(public["n"])]
+    return config

@@ -1,0 +1,128 @@
+"""The paper's Java-style staged crypto API (Sec. 3.1).
+
+SINTRA models its threshold-cryptography classes on the JCE: an instance
+is initialized into one of three *modes* (release / verify / assemble),
+fed data with ``update`` calls, and then performs its operation.  The
+native API of this reproduction is direct (see
+:mod:`repro.crypto.coin`), but this adapter reproduces the exact
+interface the paper prints::
+
+    class ThresholdCoin {
+        ThresholdCoin(int keySize, int modSize, int n, int k, int t);
+        void initRelease(privateKey, globalVerifyKey[], localVerifyKey);
+        void initVerifyShare(globalVerifyKey[], localVerifyKey);
+        void initAssemble(globalVerifyKey[]);
+        void update(byte[] b);
+        byte[] release();
+        boolean verifyShare(byte[] share);
+        byte[] assemble(byte[][] shares, int len);
+    }
+
+so code written against the paper's description ports across directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.common.errors import CryptoError, InvalidShare
+from repro.crypto.coin import CoinShareHolder, ThresholdCoin
+
+MODE_NONE = "none"
+MODE_RELEASE = "release"
+MODE_VERIFY = "verify"
+MODE_ASSEMBLE = "assemble"
+
+
+class ThresholdCoinAPI:
+    """Staged-mode adapter over :class:`~repro.crypto.coin.ThresholdCoin`.
+
+    A mode is selected with one of the ``init_*`` methods; the coin's
+    *name* is then accumulated through ``update`` calls; finally
+    ``release`` / ``verify_share`` / ``assemble`` performs the operation.
+    Afterwards the instance may be re-initialized for the next operation,
+    exactly as the paper describes.
+    """
+
+    def __init__(self, coin: ThresholdCoin, index: Optional[int] = None):
+        self._coin = coin
+        self._index = index
+        self._mode = MODE_NONE
+        self._name = bytearray()
+        self._holder: Optional[CoinShareHolder] = None
+
+    # -- the paper's constructor shape ------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._coin.n
+
+    @property
+    def k(self) -> int:
+        return self._coin.k
+
+    @property
+    def t(self) -> int:
+        return self._coin.t
+
+    # -- mode selection ------------------------------------------------------------
+
+    def init_release(self, private_key: int) -> None:
+        """Prepare to release a share using ``private_key``."""
+        if self._index is None:
+            raise CryptoError("releasing requires this party's index")
+        self._holder = self._coin.holder(self._index, private_key)
+        self._enter(MODE_RELEASE)
+
+    def init_verify_share(self) -> None:
+        """Prepare to verify a putative share (verification keys are part
+        of the coin's public data)."""
+        self._enter(MODE_VERIFY)
+
+    def init_assemble(self) -> None:
+        """Prepare to assemble ``k`` shares into the coin value."""
+        self._enter(MODE_ASSEMBLE)
+
+    def _enter(self, mode: str) -> None:
+        self._mode = mode
+        self._name = bytearray()
+
+    # -- data ------------------------------------------------------------------------
+
+    def update(self, data: bytes) -> None:
+        """Append to the coin's name (an arbitrary bit string)."""
+        if self._mode == MODE_NONE:
+            raise CryptoError("call an init method before update")
+        self._name.extend(data)
+
+    # -- operations --------------------------------------------------------------------
+
+    def release(self) -> bytes:
+        """Release this party's share of the named coin."""
+        if self._mode != MODE_RELEASE or self._holder is None:
+            raise CryptoError("not initialized for release")
+        share = self._holder.release(bytes(self._name))
+        self._mode = MODE_NONE
+        return share
+
+    def verify_share(self, share: bytes) -> bool:
+        """Check a putative share for the named coin."""
+        if self._mode != MODE_VERIFY:
+            raise CryptoError("not initialized for share verification")
+        return self._coin.verify_share(bytes(self._name), share)
+
+    def assemble(self, shares: Sequence[bytes], length: int) -> bytes:
+        """Assemble ``k`` valid shares; returns ``length`` coin bytes."""
+        if self._mode != MODE_ASSEMBLE:
+            raise CryptoError("not initialized for assembly")
+        name = bytes(self._name)
+        indexed: Dict[int, bytes] = {}
+        for share in shares:
+            if not self._coin.verify_share(name, share):
+                raise InvalidShare("invalid coin share in assemble")
+            from repro.common.encoding import decode
+
+            indexed[decode(share)[0]] = share
+        value = self._coin.assemble_bytes(name, indexed, length)
+        self._mode = MODE_NONE
+        return value

@@ -1,0 +1,25 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. 4)."""
+
+from repro.experiments.setups import (
+    HYBRID_SETUP,
+    INTERNET_SETUP,
+    LAN_SETUP,
+    Setup,
+)
+from repro.experiments.runner import (
+    ChannelKind,
+    ExperimentResult,
+    run_channel_experiment,
+)
+from repro.experiments import report
+
+__all__ = [
+    "Setup",
+    "LAN_SETUP",
+    "INTERNET_SETUP",
+    "HYBRID_SETUP",
+    "ChannelKind",
+    "ExperimentResult",
+    "run_channel_experiment",
+    "report",
+]

@@ -1,0 +1,130 @@
+"""Command-line experiment runner.
+
+Regenerates the paper's tables and figures from the terminal::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig4 --messages 120
+    python -m repro.experiments fig5 fig6
+    python -m repro.experiments all --messages 60
+
+The same experiments run as shape-asserting benchmarks under
+``pytest benchmarks/ --benchmark-only``; this entry point is for
+interactive exploration and for reproducing EXPERIMENTS.md by hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.crypto.params import SecurityParams
+from repro.experiments import report
+from repro.experiments.runner import run_channel_experiment
+from repro.experiments.setups import HYBRID_SETUP, INTERNET_SETUP, LAN_SETUP
+from repro.net.latency import FIG3_RTT_MS, INTERNET_SITE_NAMES
+
+EXPERIMENTS = ("fig3", "table1", "fig4", "fig5", "fig6", "all")
+
+
+def cmd_fig3(args: argparse.Namespace) -> None:
+    print("Figure 3 — Internet testbed round-trip times (ms):")
+    rows = [
+        [INTERNET_SITE_NAMES[a], INTERNET_SITE_NAMES[b], rtt]
+        for (a, b), rtt in sorted(FIG3_RTT_MS.items(), key=lambda kv: kv[1])
+    ]
+    print(report.format_table(["site A", "site B", "RTT (ms)"], rows))
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    measured = {}
+    for setup in (LAN_SETUP, INTERNET_SETUP, HYBRID_SETUP):
+        scale = 0.5 if setup.n == 7 else 1.0
+        for channel in ("atomic", "secure", "reliable", "consistent"):
+            t0 = time.time()
+            result = run_channel_experiment(
+                setup, channel, senders=[0],
+                messages=max(6, int(args.messages * scale)), seed=args.seed,
+            )
+            measured[(setup.name, channel)] = result.mean_delivery_s
+            print(
+                f"  ran {setup.name}/{channel}: {result.mean_delivery_s:.2f}s "
+                f"simulated mean ({time.time() - t0:.1f}s wall)",
+                file=sys.stderr,
+            )
+    print()
+    print(report.table1_report(measured))
+
+
+def _figure_run(setup, senders, names, args) -> None:
+    result = run_channel_experiment(
+        setup, "atomic", senders=senders,
+        messages=max(len(senders) * 6, args.messages), seed=args.seed,
+    )
+    print(f"{result.count} deliveries in {result.sim_seconds:.1f}s simulated; "
+          f"mean {result.mean_delivery_s:.2f}s/delivery")
+    gaps = result.gaps()[1:]
+    low, high = report.band_fractions(gaps, low_band_max=0.05)
+    print(f"bands: {low:.0%} at ~0s (in-batch), {high:.0%} paying the round trip")
+    series = result.gap_series_by_sender()
+    print(report.text_scatter(series, names=names))
+    print(report.series_summary(series, names=names))
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    print("Figure 4 — AtomicChannel on the LAN, senders P0/P2/P3:")
+    _figure_run(LAN_SETUP, [0, 2, 3], ["P0/Linux", "P1", "P2/AIX", "P3/Win2k"], args)
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    print("Figure 5 — AtomicChannel on the Internet, senders Zurich/Tokyo/NY:")
+    _figure_run(INTERNET_SETUP, [0, 1, 2], list(INTERNET_SITE_NAMES), args)
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    print("Figure 6 — delivery time vs key size (ts = Shoup threshold sigs):")
+    key_sizes = (128, 256, 512, 1024)
+    rows = []
+    for setup in (LAN_SETUP, INTERNET_SETUP):
+        for mode, label in (("shoup", "ts"), ("multi", "multi")):
+            row = [f"{setup.name} {label}"]
+            for ks in key_sizes:
+                sec = SecurityParams(sig_modbits=256, dl_bits=256, nominal_bits=ks)
+                result = run_channel_experiment(
+                    setup, "atomic", senders=[0],
+                    messages=max(6, args.messages // 3),
+                    sig_mode=mode, security=sec, seed=args.seed,
+                )
+                row.append(result.mean_delivery_s)
+                print(f"  ran {setup.name}/{label}/{ks}b", file=sys.stderr)
+            rows.append(row)
+    print(report.format_table(["series"] + [str(k) for k in key_sizes], rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="+", choices=EXPERIMENTS,
+                        help="which experiments to run")
+    parser.add_argument("--messages", type=int, default=24,
+                        help="messages per experiment (paper: 500-1000)")
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args(argv)
+
+    chosen = list(args.experiments)
+    if "all" in chosen:
+        chosen = ["fig3", "table1", "fig4", "fig5", "fig6"]
+    handlers = {
+        "fig3": cmd_fig3, "table1": cmd_table1, "fig4": cmd_fig4,
+        "fig5": cmd_fig5, "fig6": cmd_fig6,
+    }
+    for name in chosen:
+        handlers[name](args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Paper-style reporting of experiment results.
+
+Formats the measured series/rows in the same shape as the paper's Table 1
+and Figures 4-6, side by side with the published values, and provides the
+shape checks used by the benchmark suite (EXPERIMENTS.md records the
+outcomes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Table 1 of the paper: average delivery times in seconds.
+PAPER_TABLE1 = {
+    ("LAN", "atomic"): 0.69,
+    ("LAN", "secure"): 1.07,
+    ("LAN", "reliable"): 0.13,
+    ("LAN", "consistent"): 0.11,
+    ("Internet", "atomic"): 2.95,
+    ("Internet", "secure"): 3.61,
+    ("Internet", "reliable"): 0.72,
+    ("Internet", "consistent"): 0.83,
+    ("LAN+I'net", "atomic"): 2.74,
+    ("LAN+I'net", "secure"): 3.79,
+    ("LAN+I'net", "reliable"): 0.60,
+    ("LAN+I'net", "consistent"): 0.64,
+}
+
+TABLE1_CHANNELS = ("atomic", "secure", "reliable", "consistent")
+TABLE1_SETUPS = ("LAN", "Internet", "LAN+I'net")
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def table1_report(measured: Dict[Tuple[str, str], float]) -> str:
+    """Render measured Table 1 next to the paper's values."""
+    rows: List[List[object]] = []
+    for setup in TABLE1_SETUPS:
+        row: List[object] = [setup]
+        for ch in TABLE1_CHANNELS:
+            row.append(measured.get((setup, ch), float("nan")))
+            row.append(PAPER_TABLE1[(setup, ch)])
+        rows.append(row)
+    headers = ["Setup"]
+    for ch in TABLE1_CHANNELS:
+        headers += [f"{ch}", "(paper)"]
+    return format_table(
+        headers,
+        rows,
+        title="Table 1: average delivery times (s), measured vs. paper",
+    )
+
+
+def series_summary(
+    gaps_by_sender: Dict[int, List[Tuple[int, float]]],
+    names: Optional[Sequence[str]] = None,
+) -> str:
+    """Summarize a Figure 4/5 run: per-sender completion and gap bands."""
+    rows = []
+    for sender in sorted(gaps_by_sender):
+        pts = gaps_by_sender[sender]
+        gaps = [g for _, g in pts]
+        label = names[sender] if names else f"P{sender}"
+        rows.append(
+            [
+                label,
+                len(pts),
+                min(n for n, _ in pts),
+                max(n for n, _ in pts),
+                sum(gaps) / len(gaps),
+            ]
+        )
+    return format_table(
+        ["sender", "deliveries", "first#", "last#", "mean gap (s)"], rows
+    )
+
+
+def band_fractions(
+    gaps: Sequence[float], low_band_max: float
+) -> Tuple[float, float]:
+    """Fraction of deliveries in the ~0 s band vs. the upper band(s).
+
+    Figures 4 and 5 show two bands: messages delivered as the second item
+    of a batch arrive ~0 s after the previous one; the first of each batch
+    pays the full round latency.
+    """
+    if not gaps:
+        return 0.0, 0.0
+    low = sum(1 for g in gaps if g <= low_band_max)
+    return low / len(gaps), 1.0 - low / len(gaps)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio for shape assertions."""
+    return a / b if b else float("inf")
+
+
+def text_scatter(
+    series: Dict[int, List[Tuple[int, float]]],
+    names: Optional[Sequence[str]] = None,
+    width: int = 72,
+    height: int = 16,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render a Figure 4/5-style scatter (delivery # vs gap) as text.
+
+    Each sender gets a marker character; overlapping points show the later
+    sender's marker.  This is what lets ``python -m repro.experiments
+    fig4`` reproduce the *picture*, bands and all, in a terminal.
+    """
+    points = [
+        (number, gap, sender)
+        for sender, pts in series.items()
+        for number, gap in pts
+    ]
+    if not points:
+        return "(no data)"
+    x_max = max(n for n, _, _ in points)
+    y_top = y_max if y_max is not None else max(g for _, g, _ in points)
+    y_top = y_top or 1.0
+    markers = "ox+*#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for number, gap, sender in points:
+        col = min(width - 1, int(number / max(1, x_max) * (width - 1)))
+        row = min(height - 1, int((1 - min(gap, y_top) / y_top) * (height - 1)))
+        grid[row][col] = markers[sender % len(markers)]
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_top:5.1f}s"
+        elif i == height - 1:
+            label = "  0.0s"
+        else:
+            label = "      "
+        lines.append(label + " |" + "".join(row))
+    lines.append("      +" + "-" * width)
+    lines.append(f"       delivery number 0..{x_max}")
+    legend = "  ".join(
+        f"{markers[s % len(markers)]}={names[s] if names else f'P{s}'}"
+        for s in sorted(series)
+    )
+    lines.append("       " + legend)
+    return "\n".join(lines)

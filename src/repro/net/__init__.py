@@ -1,0 +1,58 @@
+"""Network substrate: discrete-event simulation, topology models, the
+per-host crypto cost model, authenticated links and fault injection."""
+
+from repro.net.sim import SimFuture, SimNode, SimQueue, Simulator
+from repro.net.latency import (
+    FIG3_RTT_MS,
+    INTERNET_SITE_NAMES,
+    LatencyModel,
+    MatrixLatency,
+    UniformLatency,
+    hybrid_latency,
+    internet_latency,
+    lan_latency,
+)
+from repro.net.costmodel import (
+    CostModel,
+    HostSpec,
+    HYBRID_HOSTS,
+    INTERNET_HOSTS,
+    LAN_HOSTS,
+)
+from repro.net.faults import (
+    CrashFault,
+    FaultPlan,
+    HealingPartitionAdversary,
+    NetworkAdversary,
+    SlowLinkAdversary,
+    TargetedDelayAdversary,
+)
+from repro.net.runtime import SimContext, SimRuntime
+
+__all__ = [
+    "Simulator",
+    "SimNode",
+    "SimFuture",
+    "SimQueue",
+    "LatencyModel",
+    "UniformLatency",
+    "MatrixLatency",
+    "lan_latency",
+    "internet_latency",
+    "hybrid_latency",
+    "FIG3_RTT_MS",
+    "INTERNET_SITE_NAMES",
+    "CostModel",
+    "HostSpec",
+    "LAN_HOSTS",
+    "INTERNET_HOSTS",
+    "HYBRID_HOSTS",
+    "FaultPlan",
+    "CrashFault",
+    "NetworkAdversary",
+    "SlowLinkAdversary",
+    "TargetedDelayAdversary",
+    "HealingPartitionAdversary",
+    "SimContext",
+    "SimRuntime",
+]

@@ -1,0 +1,222 @@
+"""Network topology and latency models.
+
+Reproduces the paper's three experimental setups (Sec. 4):
+
+* a 100 Mbit/s switched-Ethernet LAN at the IBM Zurich lab,
+* the four-site Internet testbed (Zurich, Tokyo, New York, California)
+  whose average round-trip times are given in Figure 3, and
+* the hybrid LAN+Internet configuration with seven hosts.
+
+Figure 3 labels six RTT values (164, 230, 373, 285, 242 and 93 ms) on the
+edges of the four-site graph.  The precise edge assignment is ambiguous in
+the figure, so we assign them to match the paper's narrative — Tokyo is
+"the most difficult to reach" while the transatlantic Zurich-New York link
+is the fastest:
+
+========================  ========
+pair                      RTT (ms)
+========================  ========
+Zurich - New York            93
+Zurich - California         164
+Zurich - Tokyo              285
+Tokyo - New York            230
+New York - California       242
+Tokyo - California          373
+========================  ========
+
+The paper reports that the measured RTTs vary by 10% or more; latency
+samples are jittered accordingly (log-normal, seeded, deterministic).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import Dict, Sequence, Tuple
+
+
+#: TCP maximum segment size assumed by the slow-start model.
+MSS = 1460
+
+#: Initial congestion window of the era's Linux 2.2 kernels (segments).
+INITIAL_CWND = 1
+
+
+def tcp_flights(nbytes: int, mss: int = MSS, init_cwnd: int = INITIAL_CWND) -> int:
+    """Number of one-way flights TCP slow start needs for ``nbytes``.
+
+    The paper's point-to-point links are TCP streams (Sec. 3); in 2002 a
+    multi-kilobyte message (threshold signatures, justification-carrying
+    votes) spanning several segments pays extra round trips while the
+    congestion window opens.  With window ``w`` doubling each flight,
+    ``w + 2w + ... = (2^f - 1) w`` segments fit into ``f`` flights.
+    """
+    segments = max(1, -(-nbytes // mss))
+    flights = 1
+    capacity = init_cwnd
+    window = init_cwnd
+    while capacity < segments:
+        window *= 2
+        capacity += window
+        flights += 1
+    return flights
+
+
+class LatencyModel(abc.ABC):
+    """One-way message latency between two hosts, in seconds."""
+
+    @abc.abstractmethod
+    def mean_one_way(self, src: int, dst: int) -> float:
+        """Mean one-way latency in seconds."""
+
+    @abc.abstractmethod
+    def bandwidth(self, src: int, dst: int) -> float:
+        """Link bandwidth in bytes per second."""
+
+    def tcp_modelled(self) -> bool:
+        """Whether multi-segment messages pay slow-start round trips."""
+        return False
+
+    def sample(self, src: int, dst: int, rng: random.Random, nbytes: int = 0) -> float:
+        """One jittered latency sample, including transmission time."""
+        mean = self.mean_one_way(src, dst)
+        jittered = mean * lognormal_jitter(rng, self.jitter_sigma())
+        total = jittered + nbytes / self.bandwidth(src, dst)
+        if self.tcp_modelled() and mean > 0:
+            extra_flights = tcp_flights(nbytes) - 1
+            if extra_flights:
+                # each extra flight costs a round trip (2x one-way)
+                total += extra_flights * 2 * mean * lognormal_jitter(
+                    rng, self.jitter_sigma()
+                )
+        return total
+
+    def jitter_sigma(self) -> float:
+        return 0.1
+
+
+def lognormal_jitter(rng: random.Random, sigma: float) -> float:
+    """A multiplicative jitter factor with unit median."""
+    return math.exp(rng.gauss(0.0, sigma))
+
+
+class UniformLatency(LatencyModel):
+    """Same mean latency between every pair — models a switched LAN."""
+
+    def __init__(
+        self,
+        one_way_ms: float = 0.15,
+        bandwidth_bytes_per_s: float = 100e6 / 8,
+        jitter: float = 0.15,
+    ):
+        self.one_way_s = one_way_ms / 1000.0
+        self._bandwidth = bandwidth_bytes_per_s
+        self._jitter = jitter
+
+    def mean_one_way(self, src: int, dst: int) -> float:
+        return 0.0 if src == dst else self.one_way_s
+
+    def bandwidth(self, src: int, dst: int) -> float:
+        return self._bandwidth
+
+    def jitter_sigma(self) -> float:
+        return self._jitter
+
+
+class MatrixLatency(LatencyModel):
+    """Latency from a symmetric RTT matrix (milliseconds)."""
+
+    def __init__(
+        self,
+        rtt_ms: Dict[Tuple[int, int], float],
+        n: int,
+        bandwidth_bytes_per_s: float = 10e6 / 8,
+        jitter: float = 0.12,
+        local_one_way_ms: float = 0.15,
+    ):
+        self.n = n
+        self._rtt: Dict[Tuple[int, int], float] = {}
+        for (a, b), v in rtt_ms.items():
+            self._rtt[(a, b)] = v
+            self._rtt[(b, a)] = v
+        self._bandwidth = bandwidth_bytes_per_s
+        self._jitter = jitter
+        self._local_s = local_one_way_ms / 1000.0
+
+    def tcp_modelled(self) -> bool:
+        return True
+
+    def mean_one_way(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        rtt = self._rtt.get((src, dst))
+        if rtt is None:
+            return self._local_s
+        return rtt / 2000.0
+
+    def rtt_ms(self, src: int, dst: int) -> float:
+        """Mean round-trip time in milliseconds (0 for unknown/local pairs)."""
+        if src == dst:
+            return 0.0
+        return self._rtt.get((src, dst), 2 * self._local_s * 1000.0)
+
+    def bandwidth(self, src: int, dst: int) -> float:
+        return self._bandwidth
+
+    def jitter_sigma(self) -> float:
+        return self._jitter
+
+
+# --- The paper's Figure 3 testbed --------------------------------------------
+
+ZURICH, TOKYO, NEW_YORK, CALIFORNIA = 0, 1, 2, 3
+
+INTERNET_SITE_NAMES: Sequence[str] = ("Zurich", "Tokyo", "New York", "California")
+
+#: Average round-trip times (ms) from Figure 3, assigned per module docstring.
+FIG3_RTT_MS: Dict[Tuple[int, int], float] = {
+    (ZURICH, NEW_YORK): 93.0,
+    (ZURICH, CALIFORNIA): 164.0,
+    (ZURICH, TOKYO): 285.0,
+    (TOKYO, NEW_YORK): 230.0,
+    (NEW_YORK, CALIFORNIA): 242.0,
+    (TOKYO, CALIFORNIA): 373.0,
+}
+
+
+def lan_latency(jitter: float = 0.15) -> UniformLatency:
+    """The paper's 100 Mbit/s switched-Ethernet LAN."""
+    return UniformLatency(one_way_ms=0.15, bandwidth_bytes_per_s=100e6 / 8,
+                          jitter=jitter)
+
+
+def internet_latency(jitter: float = 0.12) -> MatrixLatency:
+    """The paper's four-site Internet testbed (Figure 3)."""
+    return MatrixLatency(FIG3_RTT_MS, n=4, bandwidth_bytes_per_s=10e6 / 8,
+                         jitter=jitter)
+
+
+def hybrid_latency(jitter: float = 0.12) -> MatrixLatency:
+    """The 7-host LAN+Internet configuration (Sec. 4).
+
+    Hosts 0..3 are the Zurich LAN machines (P0 Zurich doubles as the
+    Internet host, as in the paper); hosts 4..6 are Tokyo, New York and
+    California.  LAN pairs get LAN latency; pairs involving a remote site
+    get the Figure 3 RTT of the corresponding sites.
+    """
+    rtt: Dict[Tuple[int, int], float] = {}
+    lan_hosts = (0, 1, 2, 3)
+    remote = {4: TOKYO, 5: NEW_YORK, 6: CALIFORNIA}
+    for a in lan_hosts:
+        for b in lan_hosts:
+            if a < b:
+                rtt[(a, b)] = 0.3  # LAN RTT in ms
+    for r, site in remote.items():
+        for a in lan_hosts:
+            rtt[(a, r)] = FIG3_RTT_MS[tuple(sorted((ZURICH, site)))]  # type: ignore[index]
+        for r2, site2 in remote.items():
+            if r < r2:
+                key = tuple(sorted((site, site2)))
+                rtt[(r, r2)] = FIG3_RTT_MS[key]  # type: ignore[index]
+    return MatrixLatency(rtt, n=7, bandwidth_bytes_per_s=10e6 / 8, jitter=jitter)

@@ -1,0 +1,264 @@
+"""Simulation runtime: wires parties, protocols and the network together.
+
+:class:`SimRuntime` owns one :class:`~repro.net.sim.Simulator`, one
+:class:`~repro.net.sim.SimNode` (sequential CPU) and one
+:class:`~repro.core.protocol.Router` per party, and a simulated network
+that transports sealed wire frames with topology-dependent latency,
+per-pair FIFO ordering, bandwidth-dependent transmission time, and the
+configured fault plan.
+
+Usage sketch::
+
+    group = fast_group(4, 1)
+    rt = SimRuntime(group, latency=lan_latency(), hosts=LAN_HOSTS, seed=1)
+    rbc = [ReliableBroadcast(ctx, "rbc", 0) for ctx in rt.contexts]
+    rbc[0].send(b"hello")
+    rt.run_all([r.delivered for r in rbc])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError, TransportError
+from repro.crypto.dealer import GroupConfig
+from repro.core.protocol import Context, Router
+from repro.net import links
+from repro.net.costmodel import CostModel, HostSpec, LAN_HOSTS
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.message import unpack_body, pack_body
+from repro.net.sim import SimFuture, SimNode, SimQueue, Simulator
+
+#: Default per-message handling overhead (seconds) when a host spec does not
+#: provide one; covers serialization, MAC and bookkeeping.
+DEFAULT_OVERHEAD_S = 0.002
+
+
+class SimContext(Context):
+    """The :class:`Context` implementation backed by the simulator."""
+
+    def __init__(self, runtime: "SimRuntime", node_id: int):
+        self.runtime = runtime
+        self.node_id = node_id
+        self.n = runtime.group.n
+        self.t = runtime.group.t
+        self.crypto = runtime.group.party(node_id)
+        self.router = runtime.routers[node_id]
+        self.node = runtime.nodes[node_id]
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(self, dst: int, pid: str, mtype: str, payload: Any) -> None:
+        body = pack_body(pid, mtype, payload)
+        wire = links.seal(self.crypto, dst, body)
+        self.runtime.record_protocol_message(pid, mtype, len(wire), self.node_id)
+        self.node.emit(dst, wire)
+
+    # -- effects / scheduling ---------------------------------------------------
+
+    def effect(self, fn: Callable, *args: Any) -> None:
+        if self.node._effects is not None:  # inside a handler on this CPU
+            self.node.effect(fn, *args)
+        else:  # API-driven (e.g. deliver_closing from application code)
+            self.runtime.sim.schedule(0.0, fn, *args)
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        if self.node._outbox is not None:  # inside a handler on this CPU
+            self.node.effect(self.runtime.run_on_node, self.node_id, fn)
+        else:
+            self.runtime.sim.schedule(
+                0.0, self.runtime.run_on_node, self.node_id, fn
+            )
+
+    def api(self, fn: Callable[[], None]) -> None:
+        if self.node._outbox is not None:  # already executing on this CPU
+            fn()
+        else:
+            self.runtime.sim.schedule(
+                0.0, self.runtime.run_on_node, self.node_id, fn
+            )
+
+    def set_timer(self, delay: float, fn: Callable[[], None]):
+        from repro.core.protocol import Timer
+
+        timer = Timer()
+
+        def fire() -> None:
+            if timer.active:
+                self.runtime.run_on_node(self.node_id, fn)
+
+        self.runtime.sim.schedule(delay, fire)
+        return timer
+
+    # -- primitives ----------------------------------------------------------------
+
+    def new_queue(self) -> SimQueue:
+        return self.runtime.sim.queue()
+
+    def new_future(self) -> SimFuture:
+        return self.runtime.sim.future()
+
+    def now(self) -> float:
+        return self.runtime.sim.now
+
+
+class SimRuntime:
+    """A complete simulated deployment of one SINTRA group."""
+
+    def __init__(
+        self,
+        group: GroupConfig,
+        latency: Optional[LatencyModel] = None,
+        hosts: Optional[Sequence[HostSpec]] = None,
+        seed: object = 0,
+        faults: Optional[FaultPlan] = None,
+        overhead_s: Optional[float] = None,
+        model_crypto_cost: bool = True,
+        trace: bool = False,
+    ):
+        self.group = group
+        self.latency = latency or UniformLatency()
+        self.sim = Simulator(seed=seed)
+        self.faults = faults or FaultPlan()
+        n = group.n
+        if hosts is not None and len(hosts) < n:
+            raise ReproError(f"need at least {n} host specs, got {len(hosts)}")
+        op_scale = group.security.nominal_bits / group.security.sig_modbits
+        self.nodes: List[SimNode] = []
+        for i in range(n):
+            host = hosts[i] if hosts is not None else None
+            cost_model = CostModel(host) if (host and model_crypto_cost) else None
+            node_overhead = (
+                overhead_s
+                if overhead_s is not None
+                else (host.overhead_ms / 1000.0 if host else DEFAULT_OVERHEAD_S)
+            )
+            self.nodes.append(
+                SimNode(
+                    self.sim,
+                    i,
+                    cost_model=cost_model,
+                    overhead_s=node_overhead,
+                    op_scale=op_scale,
+                )
+            )
+        self.routers = [Router() for _ in range(n)]
+        self.contexts = [SimContext(self, i) for i in range(n)]
+        self._fifo_last: Dict[Tuple[int, int], float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.auth_failures = 0
+        #: per-(pid, mtype) counts of protocol messages handed to the
+        #: network — the data behind the message-complexity tests.
+        self.protocol_messages: Dict[Tuple[str, str], int] = {}
+        self.protocol_bytes: Dict[str, int] = {}
+        #: optional full message trace: (time, sender, pid, mtype, nbytes).
+        #: The per-delivery timelines of the paper's Figures 4/5 come from
+        #: exactly this kind of log.
+        self.trace: Optional[List[Tuple[float, int, str, str, int]]] = (
+            [] if trace else None
+        )
+
+    def record_protocol_message(
+        self, pid: str, mtype: str, nbytes: int, sender: int = -1
+    ) -> None:
+        key = (pid, mtype)
+        self.protocol_messages[key] = self.protocol_messages.get(key, 0) + 1
+        self.protocol_bytes[pid] = self.protocol_bytes.get(pid, 0) + nbytes
+        if self.trace is not None:
+            self.trace.append((self.sim.now, sender, pid, mtype, nbytes))
+
+    def dump_trace(self, path: str) -> int:
+        """Write the trace as JSON lines; returns the record count."""
+        import json
+
+        if self.trace is None:
+            raise ReproError("runtime was created without trace=True")
+        with open(path, "w") as f:
+            for when, sender, pid, mtype, nbytes in self.trace:
+                f.write(json.dumps({
+                    "t": round(when, 6), "from": sender, "pid": pid,
+                    "type": mtype, "bytes": nbytes,
+                }) + "\n")
+        return len(self.trace)
+
+    def messages_for_prefix(self, prefix: str) -> int:
+        """Total messages sent for protocol ids starting with ``prefix``."""
+        return sum(
+            count
+            for (pid, _), count in self.protocol_messages.items()
+            if pid.startswith(prefix)
+        )
+
+    # -- node execution ------------------------------------------------------------
+
+    def run_on_node(self, node_id: int, fn: Callable[[], None]) -> None:
+        """Execute ``fn`` as one unit of CPU work on ``node_id``."""
+        self.nodes[node_id].process(fn, self._dispatch)
+
+    # -- network -----------------------------------------------------------------------
+
+    def _dispatch(self, src: int, depart: float, send_tuple: Tuple[Any, ...]) -> None:
+        dst, wire = send_tuple
+        if self.faults.drops(src, depart):
+            return
+        self.messages_sent += 1
+        self.bytes_sent += len(wire)
+        if dst == src:
+            arrival = depart
+        else:
+            # Wire sizes are scaled to the experiment's *nominal* key size:
+            # signatures and key-dependent fields grow linearly with the
+            # modulus, so a run executed with small actual keys still pays
+            # transmission/TCP costs of the configuration it models.
+            op_scale = self.group.security.nominal_bits / self.group.security.sig_modbits
+            nbytes = int(len(wire) * op_scale)
+            delay = self.latency.sample(src, dst, self.sim.rng, nbytes=nbytes)
+            delay += self.faults.extra_delay(src, dst, nbytes, depart, self.sim.rng)
+            arrival = depart + delay
+            last = self._fifo_last.get((src, dst), 0.0)
+            arrival = max(arrival, last + 1e-9)  # links are FIFO, like TCP
+            self._fifo_last[(src, dst)] = arrival
+        self.sim.schedule_at(arrival, self._arrive, dst, wire)
+
+    def _arrive(self, dst: int, wire: bytes) -> None:
+        self.nodes[dst].process(lambda: self._handle_wire(dst, wire), self._dispatch)
+
+    def _handle_wire(self, dst: int, wire: bytes) -> None:
+        crypto = self.group.party(dst)
+        try:
+            sender, body = links.open_sealed(crypto, wire)
+            msg = unpack_body(sender, body)
+        except (ReproError, TransportError):
+            self.auth_failures += 1
+            return
+        self.routers[dst].dispatch(msg.sender, msg.pid, msg.mtype, msg.payload)
+
+    # -- driving the simulation -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_until(self, fut: SimFuture, limit: float = 1e9) -> Any:
+        return self.sim.run_until(fut, limit=limit)
+
+    def run_all(self, futures: Sequence[SimFuture], limit: float = 1e9) -> List[Any]:
+        """Run until every future in ``futures`` resolves."""
+        for fut in futures:
+            self.run_until(fut, limit=limit)
+        return [f.value for f in futures]
+
+    def spawn(self, gen) -> Any:
+        return self.sim.spawn(gen)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def router_errors(self) -> List[Tuple[str, int, Exception]]:
+        """All contained handler errors across parties (empty in honest runs)."""
+        out: List[Tuple[str, int, Exception]] = []
+        for router in self.routers:
+            out.extend(router.errors)
+        return out

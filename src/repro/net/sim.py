@@ -1,0 +1,310 @@
+"""Discrete-event simulator for asynchronous networks.
+
+The paper evaluates SINTRA on real machines spread over three continents;
+this module is the substitute substrate (see DESIGN.md): a deterministic
+discrete-event simulator with
+
+* a virtual clock (seconds, float),
+* generator-based *processes* (``yield`` a future, a queue ``get``, or a
+  sleep duration),
+* :class:`SimFuture` / :class:`SimQueue` synchronization primitives, and
+* per-node sequential CPUs (:class:`SimNode`): handling a message occupies
+  the node for a base overhead plus the modelled cost of the public-key
+  operations performed by the handler, so a slow host really does fall
+  behind — the effect behind Figures 4 and 5 of the paper.
+
+Determinism: given the same seed and the same sequence of API calls, a
+simulation run is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.crypto import opcount
+
+
+class SimError(ReproError):
+    """Simulator misuse (e.g. awaiting a future from a foreign simulator)."""
+
+
+class SimFuture:
+    """A one-shot value that a process can ``yield`` to wait on."""
+
+    __slots__ = ("sim", "done", "value", "error", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.done = False
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["SimFuture"], None]] = []
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve the future; waiting processes resume at the current time."""
+        if self.done:
+            raise SimError("future resolved twice")
+        self.done = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, self)
+
+    def reject(self, error: BaseException) -> None:
+        """Fail the future; ``run_until`` re-raises the error."""
+        if self.done:
+            raise SimError("future resolved twice")
+        self.done = True
+        self.error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, self)
+
+    def add_done_callback(self, cb: Callable[["SimFuture"], None]) -> None:
+        if self.done:
+            self.sim.schedule(0.0, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+
+class SimQueue:
+    """Unbounded FIFO queue connecting protocol outputs to processes."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._items: List[Any] = []
+        self._waiters: List[SimFuture] = []
+
+    def put(self, item: Any) -> None:
+        if self._waiters:
+            self._waiters.pop(0).resolve(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimFuture:
+        """Return a future for the next item (resolved now if available)."""
+        fut = SimFuture(self.sim)
+        if self._items:
+            fut.resolve(self._items.pop(0))
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def can_get(self) -> bool:
+        return bool(self._items)
+
+
+class Process:
+    """A generator-based process; its return value resolves ``future``."""
+
+    def __init__(self, sim: "Simulator", gen: Generator):
+        self.sim = sim
+        self.gen = gen
+        self.future = SimFuture(sim)
+        sim.schedule(0.0, self._step, None)
+
+    def _step(self, value: Any) -> None:
+        if isinstance(value, SimFuture):
+            if value.error is not None:
+                # propagate awaited failures into the generator
+                try:
+                    yielded = self.gen.throw(value.error)
+                except StopIteration as stop:
+                    self.future.resolve(stop.value)
+                    return
+                except BaseException as exc:  # process died on the error
+                    self.future.reject(exc)
+                    return
+                self._handle_yield(yielded)
+                return
+            value = value.value
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.future.resolve(stop.value)
+            return
+        except BaseException as exc:
+            # a crashing process fails its own future instead of tearing
+            # down the whole simulation's event loop
+            self.future.reject(exc)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if isinstance(yielded, SimFuture):
+            yielded.add_done_callback(self._step)
+        elif isinstance(yielded, (int, float)):
+            self.sim.schedule(float(yielded), self._step, None)
+        elif yielded is None:
+            self.sim.schedule(0.0, self._step, None)
+        else:
+            raise SimError(
+                f"process yielded unsupported value {yielded!r}; "
+                "yield a SimFuture, a sleep duration, or None"
+            )
+
+
+class Simulator:
+    """Event loop with a virtual clock."""
+
+    def __init__(self, seed: object = 0):
+        self.now = 0.0
+        self.rng = random.Random(repr(("repro.sim", seed)))
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        self.schedule_at(self.now + max(0.0, delay), fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        if when < self.now:
+            raise SimError("cannot schedule in the past")
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        self._seq += 1
+
+    # -- processes --------------------------------------------------------------
+
+    def spawn(self, gen: Generator) -> Process:
+        """Start a generator-based process; see module docstring."""
+        return Process(self, gen)
+
+    def future(self) -> SimFuture:
+        return SimFuture(self)
+
+    def queue(self) -> SimQueue:
+        return SimQueue(self)
+
+    # -- running ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events until the queue drains, ``until`` or ``max_events``."""
+        count = 0
+        while self._heap:
+            when, _, fn, args = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = when
+            fn(*args)
+            self.events_processed += 1
+            count += 1
+            if max_events is not None and count >= max_events:
+                return
+        if until is not None:
+            self.now = until
+
+    def run_until(self, fut: SimFuture, limit: float = 1e9) -> Any:
+        """Run until ``fut`` resolves; raises if the simulation goes idle
+        first, the time limit passes, or the future was rejected."""
+        while not fut.done:
+            if not self._heap:
+                raise SimError("simulation went idle before the future resolved")
+            if self.now > limit:
+                raise SimError(f"simulated time exceeded limit {limit}")
+            when, _, fn, args = heapq.heappop(self._heap)
+            self.now = when
+            fn(*args)
+            self.events_processed += 1
+        if fut.error is not None:
+            raise fut.error
+        return fut.value
+
+    @property
+    def idle(self) -> bool:
+        return not self._heap
+
+
+class SimNode:
+    """A sequential CPU in the simulated system.
+
+    All work of one party executes here.  ``process(fn)`` runs ``fn``
+    immediately (collecting its outbound messages and local outputs) but
+    models its *duration*: the node is busy from ``max(now, busy_until)``
+    for ``overhead + crypto cost`` seconds, and everything the handler
+    produced takes effect at the completion time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cost_model: Optional[object] = None,
+        overhead_s: float = 0.0,
+        op_scale: float = 1.0,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.cost_model = cost_model
+        self.overhead_s = overhead_s
+        self.op_scale = op_scale
+        self.busy_until = 0.0
+        self.cpu_seconds = 0.0
+        self._outbox: Optional[List[Tuple[Any, ...]]] = None
+        self._effects: Optional[List[Tuple[Callable, tuple]]] = None
+
+    # -- called from inside handlers -------------------------------------------
+
+    def emit(self, *send_tuple: Any) -> None:
+        """Record an outbound message (interpreted by the network layer)."""
+        if self._outbox is None:
+            raise SimError("emit() outside of node.process()")
+        self._outbox.append(send_tuple)
+
+    def effect(self, fn: Callable, *args: Any) -> None:
+        """Record a local effect to apply at handler completion time."""
+        if self._effects is None:
+            raise SimError("effect() outside of node.process()")
+        self._effects.append((fn, args))
+
+    # -- execution ---------------------------------------------------------------
+
+    def process(
+        self,
+        fn: Callable[[], None],
+        dispatch: Optional[Callable[[int, float, Tuple[Any, ...]], None]] = None,
+    ) -> float:
+        """Execute ``fn`` as one unit of work on this CPU.
+
+        ``dispatch(node_id, completion_time, send_tuple)`` is invoked for
+        every message the handler emitted.  Returns the completion time.
+        """
+        start = max(self.sim.now, self.busy_until)
+        outer_outbox, outer_effects = self._outbox, self._effects
+        self._outbox, self._effects = [], []
+        counter = opcount.OpCounter()
+        opcount.push(counter)
+        try:
+            fn()
+        finally:
+            opcount.pop()
+            outbox, self._outbox = self._outbox, outer_outbox
+            effects, self._effects = self._effects, outer_effects
+        duration = self.overhead_s
+        if self.cost_model is not None:
+            duration += self.cost_model.seconds(counter, self.op_scale)
+        end = start + duration
+        self.busy_until = end
+        self.cpu_seconds += duration
+        for fn2, args in effects:
+            self.sim.schedule_at(end, fn2, *args)
+        if dispatch is not None:
+            for send_tuple in outbox:
+                dispatch(self.node_id, end, send_tuple)
+        elif outbox:
+            raise SimError("handler emitted messages but no dispatcher was given")
+        return end

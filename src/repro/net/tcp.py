@@ -1,0 +1,233 @@
+"""Real-network runtime: the SINTRA stack over asyncio TCP.
+
+The paper's implementation runs its reliable point-to-point links over TCP
+with HMAC authentication (Sec. 3); this module is the equivalent runtime
+for this reproduction.  The same sans-I/O protocol classes used under the
+simulator run unchanged: only the :class:`~repro.core.protocol.Context`
+implementation differs.
+
+A party is identified by a ``host:port`` endpoint, as in the paper's
+configuration files.  Every party listens on its endpoint and opens one
+outgoing connection to each peer (retrying until the peer is up); frames
+are length-prefixed sealed messages (HMAC per pair of servers).
+
+Usage (see ``examples/real_network.py``)::
+
+    nodes = [TcpNode(group, i, endpoints) for i in range(n)]
+    await asyncio.gather(*(node.start() for node in nodes))
+    channels = [AtomicChannel(node.ctx, "ch") for node in nodes]
+    ...
+    await asyncio.gather(*(node.stop() for node in nodes))
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError, TransportError
+from repro.core.protocol import Context, Router
+from repro.crypto.dealer import GroupConfig
+from repro.net import links
+from repro.net.message import pack_body, unpack_body
+
+logger = logging.getLogger("repro.net.tcp")
+
+_LEN = struct.Struct(">I")
+MAX_FRAME = 16 * 1024 * 1024
+
+
+class AsyncFuture:
+    """asyncio-backed future with the SimFuture interface (awaitable)."""
+
+    def __init__(self) -> None:
+        self._fut: asyncio.Future = asyncio.get_event_loop().create_future()
+
+    @property
+    def done(self) -> bool:
+        return self._fut.done()
+
+    @property
+    def value(self) -> Any:
+        return self._fut.result() if self._fut.done() else None
+
+    def resolve(self, value: Any = None) -> None:
+        if not self._fut.done():
+            self._fut.set_result(value)
+
+    def add_done_callback(self, cb: Callable) -> None:
+        self._fut.add_done_callback(lambda f: cb(self))
+
+    def __await__(self):
+        return self._fut.__await__()
+
+
+class AsyncQueue:
+    """asyncio.Queue with the SimQueue interface (``get`` is awaitable)."""
+
+    def __init__(self) -> None:
+        self._q: asyncio.Queue = asyncio.Queue()
+
+    def put(self, item: Any) -> None:
+        self._q.put_nowait(item)
+
+    def get(self):
+        return self._q.get()
+
+    def can_get(self) -> bool:
+        return not self._q.empty()
+
+    def __len__(self) -> int:
+        return self._q.qsize()
+
+
+class TcpContext(Context):
+    """Protocol context bound to a :class:`TcpNode`."""
+
+    def __init__(self, node: "TcpNode"):
+        self.node_id = node.index
+        self.n = node.group.n
+        self.t = node.group.t
+        self.crypto = node.group.party(node.index)
+        self.router = Router()
+        self._node = node
+
+    def send(self, dst: int, pid: str, mtype: str, payload: Any) -> None:
+        body = pack_body(pid, mtype, payload)
+        frame = links.seal(self.crypto, dst, body)
+        self._node.send_frame(dst, frame)
+
+    def effect(self, fn: Callable, *args: Any) -> None:
+        asyncio.get_event_loop().call_soon(fn, *args)
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        asyncio.get_event_loop().call_soon(fn)
+
+    def set_timer(self, delay: float, fn: Callable[[], None]):
+        from repro.core.protocol import Timer
+
+        timer = Timer()
+
+        def fire() -> None:
+            if timer.active:
+                fn()
+
+        asyncio.get_event_loop().call_later(delay, fire)
+        return timer
+
+    def new_queue(self) -> AsyncQueue:
+        return AsyncQueue()
+
+    def new_future(self) -> AsyncFuture:
+        return AsyncFuture()
+
+    def now(self) -> float:
+        return asyncio.get_event_loop().time()
+
+
+class TcpNode:
+    """One SINTRA server on a real TCP network."""
+
+    def __init__(
+        self,
+        group: GroupConfig,
+        index: int,
+        endpoints: List[Tuple[str, int]],
+        connect_retry_s: float = 0.1,
+    ):
+        if len(endpoints) != group.n:
+            raise TransportError("need one endpoint per party")
+        self.group = group
+        self.index = index
+        self.endpoints = endpoints
+        self.connect_retry_s = connect_retry_s
+        self.ctx = TcpContext(self)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._out: Dict[int, asyncio.Queue] = {}
+        self._tasks: List[asyncio.Task] = []
+        self.frames_received = 0
+        self.auth_failures = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Listen on the local endpoint and connect to all peers."""
+        host, port = self.endpoints[self.index]
+        self._server = await asyncio.start_server(self._on_peer, host, port)
+        for peer in range(self.group.n):
+            if peer == self.index:
+                continue
+            self._out[peer] = asyncio.Queue()
+            self._tasks.append(asyncio.ensure_future(self._writer(peer)))
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- sending ----------------------------------------------------------------
+
+    def send_frame(self, dst: int, frame: bytes) -> None:
+        if dst == self.index:
+            # Local loop: deliver asynchronously like any other message.
+            asyncio.get_event_loop().call_soon(self._deliver, frame)
+        else:
+            self._out[dst].put_nowait(frame)
+
+    async def _writer(self, peer: int) -> None:
+        host, port = self.endpoints[peer]
+        writer: Optional[asyncio.StreamWriter] = None
+        while writer is None:
+            try:
+                _, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(self.connect_retry_s)
+        try:
+            while True:
+                frame = await self._out[peer].get()
+                writer.write(_LEN.pack(len(frame)) + frame)
+                await writer.drain()
+        finally:
+            writer.close()
+
+    # -- receiving -----------------------------------------------------------------
+
+    async def _on_peer(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                (length,) = _LEN.unpack(header)
+                if length > MAX_FRAME:
+                    raise TransportError("oversized frame")
+                frame = await reader.readexactly(length)
+                self._deliver(frame)
+        except (asyncio.IncompleteReadError, ConnectionError, TransportError):
+            pass
+        finally:
+            writer.close()
+
+    def _deliver(self, frame: bytes) -> None:
+        try:
+            sender, body = links.open_sealed(self.ctx.crypto, frame)
+            msg = unpack_body(sender, body)
+        except (ReproError, TransportError):
+            self.auth_failures += 1
+            return
+        self.frames_received += 1
+        self.ctx.router.dispatch(msg.sender, msg.pid, msg.mtype, msg.payload)
+
+
+def local_endpoints(n: int, base_port: int = 47310) -> List[Tuple[str, int]]:
+    """Localhost endpoints for an in-process test deployment."""
+    return [("127.0.0.1", base_port + i) for i in range(n)]

@@ -1,0 +1,25 @@
+"""Abstract transport interface.
+
+A transport moves sealed wire frames (see :mod:`repro.net.links`) between
+parties.  Two implementations exist: the discrete-event simulator
+(:mod:`repro.net.runtime`) and real TCP via asyncio
+(:mod:`repro.net.tcp`) — the paper's prototype likewise ran the reliable
+point-to-point links over TCP streams (Sec. 3).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+
+class Transport(abc.ABC):
+    """Reliable FIFO delivery of opaque frames between parties."""
+
+    @abc.abstractmethod
+    def send(self, dst: int, frame: bytes) -> None:
+        """Queue ``frame`` for delivery to party ``dst`` (non-blocking)."""
+
+    @abc.abstractmethod
+    def set_receiver(self, callback: Callable[[bytes], None]) -> None:
+        """Register the local delivery callback for incoming frames."""

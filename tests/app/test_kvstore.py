@@ -1,0 +1,131 @@
+"""Replicated key-value store: replica equality, command semantics."""
+
+import pytest
+
+from repro.app.kvstore import KVStore, ReplicatedKVStore
+from repro.core.party import make_parties
+
+from tests.helpers import no_errors, sim_runtime
+
+
+# -- the bare state machine ------------------------------------------------------
+
+
+def test_put_get_del():
+    kv = KVStore()
+    assert kv.apply(KVStore.cmd_put(b"k", b"v1")) == b""
+    assert kv.apply(KVStore.cmd_get(b"k")) == b"v1"
+    assert kv.apply(KVStore.cmd_put(b"k", b"v2")) == b"v1"
+    assert kv.apply(KVStore.cmd_del(b"k")) == b"v2"
+    assert kv.apply(KVStore.cmd_get(b"k")) == b""
+
+
+def test_cas():
+    kv = KVStore()
+    kv.apply(KVStore.cmd_put(b"k", b"a"))
+    assert kv.apply(KVStore.cmd_cas(b"k", b"a", b"b")) == b"ok"
+    assert kv.apply(KVStore.cmd_cas(b"k", b"a", b"c")) == b"fail"
+    assert kv.data[b"k"] == b"b"
+
+
+def test_malformed_commands_safe():
+    kv = KVStore()
+    assert kv.apply(b"\x00junk") == b"error:malformed"
+    from repro.common.encoding import encode
+
+    assert kv.apply(encode(("put", b"k"))) == b"error:malformed"  # arity
+    assert kv.apply(encode(("frobnicate", b"k"))) == b"error:unknown-op"
+    assert kv.data == {}
+
+
+def test_snapshot_deterministic():
+    a, b = KVStore(), KVStore()
+    a.apply(KVStore.cmd_put(b"x", b"1"))
+    a.apply(KVStore.cmd_put(b"y", b"2"))
+    b.apply(KVStore.cmd_put(b"y", b"2"))
+    b.apply(KVStore.cmd_put(b"x", b"1"))
+    assert a.snapshot() == b.snapshot()  # order-insensitive state
+    assert a.digest() == b.digest()
+
+
+# -- replication over the atomic channel ---------------------------------------------
+
+
+def _replicas(rt, secure=False):
+    return [
+        ReplicatedKVStore(p, pid="kv", secure=secure)
+        for p in make_parties(rt)
+    ]
+
+
+def _sync(rt, replicas, count, limit=3000):
+    def waiter(rep):
+        while rep.applied < count:
+            yield rep.channel.receive()
+
+    # consume via on_output; drain the queue concurrently so it can't grow
+    procs = [rt.spawn(waiter(r)) for r in replicas]
+    for p in procs:
+        rt.run_until(p.future, limit=limit)
+
+
+def test_replicas_converge(group4):
+    rt = sim_runtime(group4, seed=1)
+    reps = _replicas(rt)
+    reps[0].put(b"a", b"1")
+    reps[1].put(b"b", b"2")
+    reps[2].cas(b"a", b"", b"ignored")  # ordering decides cas outcome
+    _sync(rt, reps, 3)
+    digests = {r.state_digest() for r in reps}
+    assert len(digests) == 1
+    logs = {r.log_digest() for r in reps}
+    assert len(logs) == 1
+    no_errors(rt)
+
+
+def test_conflicting_cas_resolved_identically(group4):
+    """Two replicas CAS the same key: total order makes exactly one win,
+    and every replica agrees which."""
+    rt = sim_runtime(group4, seed=2)
+    reps = _replicas(rt)
+    reps[0].put(b"lock", b"free")
+    _sync(rt, reps, 1)
+    reps[1].cas(b"lock", b"free", b"holder-1")
+    reps[2].cas(b"lock", b"free", b"holder-2")
+    _sync(rt, reps, 3)
+    winners = {r.local_value(b"lock") for r in reps}
+    assert len(winners) == 1
+    assert winners.pop() in (b"holder-1", b"holder-2")
+    outcomes = [res for _, res in reps[0].log[-2:]]
+    assert sorted(outcomes) == [b"fail", b"ok"]
+
+
+def test_secure_replication(group4):
+    """State-machine replication over the secure causal channel."""
+    rt = sim_runtime(group4, seed=3)
+    reps = _replicas(rt, secure=True)
+    reps[0].put(b"secret", b"v")
+    _sync(rt, reps, 1)
+    assert all(r.local_value(b"secret") == b"v" for r in reps)
+    no_errors(rt)
+
+
+def test_read_your_writes_in_order(group4):
+    rt = sim_runtime(group4, seed=4)
+    reps = _replicas(rt)
+    reps[0].put(b"k", b"1")
+    reps[0].get(b"k")
+    _sync(rt, reps, 2)
+    # the get was ordered after the put from the same client
+    assert reps[2].log[-1][1] == b"1"
+
+
+def test_close(group4):
+    rt = sim_runtime(group4, seed=5)
+    reps = _replicas(rt)
+    reps[0].put(b"k", b"v")
+    _sync(rt, reps, 1)
+    for r in reps:
+        r.close()
+    rt.run_all([r.channel.closed for r in reps], limit=600)
+    assert all(r.channel.is_closed() for r in reps)

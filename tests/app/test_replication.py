@@ -1,0 +1,108 @@
+"""The generic replication layer."""
+
+import pytest
+
+from repro.app.replication import ReplicatedService, StateMachine
+from repro.core.party import make_parties
+
+from tests.helpers import no_errors, sim_runtime
+
+
+class Counter(StateMachine):
+    """Minimal deterministic state machine: add/sub on one integer."""
+
+    def __init__(self):
+        self.value = 0
+
+    def apply(self, command: bytes) -> bytes:
+        op, _, amount = command.partition(b":")
+        try:
+            amount = int(amount)
+        except ValueError:
+            return b"error"
+        if op == b"add":
+            self.value += amount
+        elif op == b"sub":
+            self.value -= amount
+        else:
+            return b"error"
+        return str(self.value).encode()
+
+    def snapshot(self) -> bytes:
+        return str(self.value).encode()
+
+
+def _services(rt, **kwargs):
+    return [
+        ReplicatedService(p, "counter", Counter(), **kwargs)
+        for p in make_parties(rt)
+    ]
+
+
+def _sync(rt, services, count, limit=3000):
+    def waiter(svc):
+        while svc.applied < count:
+            yield svc.channel.receive()
+
+    procs = [rt.spawn(waiter(s)) for s in services]
+    for p in procs:
+        rt.run_until(p.future, limit=limit)
+
+
+def test_commands_apply_in_total_order(group4):
+    rt = sim_runtime(group4, seed=1)
+    services = _services(rt)
+    services[0].submit(b"add:10")
+    services[1].submit(b"sub:3")
+    services[2].submit(b"add:1")
+    _sync(rt, services, 3)
+    values = {s.state.value for s in services}
+    assert values == {8}
+    # intermediate results identical too (same order everywhere)
+    results = [r for _, r in services[0].log]
+    assert results == [r for _, r in services[3].log]
+    no_errors(rt)
+
+
+def test_log_and_state_digests(group4):
+    rt = sim_runtime(group4, seed=2)
+    services = _services(rt)
+    services[0].submit(b"add:5")
+    services[0].submit(b"add:7")
+    _sync(rt, services, 2)
+    assert len({s.state_digest() for s in services}) == 1
+    assert len({s.log_digest() for s in services}) == 1
+    assert services[0].applied == 2
+
+
+def test_bad_commands_deterministic(group4):
+    """Even rejected commands leave replicas identical."""
+    rt = sim_runtime(group4, seed=3)
+    services = _services(rt)
+    services[0].submit(b"frobnicate:1")
+    services[1].submit(b"add:not-a-number")
+    _sync(rt, services, 2)
+    assert {s.state.value for s in services} == {0}
+    assert len({s.log_digest() for s in services}) == 1
+
+
+def test_secure_flag_uses_secure_channel(group4):
+    from repro.core.channel import SecureAtomicChannel
+
+    rt = sim_runtime(group4, seed=4)
+    services = _services(rt, secure=True)
+    assert all(isinstance(s.channel, SecureAtomicChannel) for s in services)
+    services[0].submit(b"add:2")
+    _sync(rt, services, 1)
+    assert {s.state.value for s in services} == {2}
+
+
+def test_close(group4):
+    rt = sim_runtime(group4, seed=5)
+    services = _services(rt)
+    services[0].submit(b"add:1")
+    _sync(rt, services, 1)
+    for s in services:
+        s.close()
+    rt.run_all([s.channel.closed for s in services], limit=600)
+    assert all(s.channel.is_closed() for s in services)

@@ -1,0 +1,39 @@
+"""Shared fixtures: dealt groups are expensive, so they are cached per
+configuration and session-scoped."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.dealer import fast_group
+from repro.crypto.params import SecurityParams
+
+_GROUP_CACHE = {}
+
+
+def cached_group(n=4, t=1, sig_mode="multi", seed=1):
+    """Deal (or reuse) a toy group for tests."""
+    key = (n, t, sig_mode, seed)
+    if key not in _GROUP_CACHE:
+        _GROUP_CACHE[key] = fast_group(
+            n, t, SecurityParams.toy(), sig_mode=sig_mode, seed=seed
+        )
+    return _GROUP_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def group4():
+    """The standard n=4, t=1 multi-signature group."""
+    return cached_group(4, 1, "multi")
+
+
+@pytest.fixture(scope="session")
+def group4_shoup():
+    """n=4, t=1 with Shoup threshold signatures."""
+    return cached_group(4, 1, "shoup")
+
+
+@pytest.fixture(scope="session")
+def group7():
+    """The paper's hybrid-size group: n=7, t=2."""
+    return cached_group(7, 2, "multi")

@@ -1,0 +1,67 @@
+"""ABORT semantics (paper Secs. 3.2-3.4): local cleanup, remote state
+unspecified, channel abort."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.agreement import BinaryAgreement
+from repro.core.broadcast import ReliableBroadcast
+from repro.core.channel import AtomicChannel
+
+from tests.helpers import no_errors, sim_runtime
+
+
+def test_broadcast_abort_cleans_local_state(group4):
+    rt = sim_runtime(group4, seed=1)
+    rbcs = [ReliableBroadcast(ctx, "ab", 0) for ctx in rt.contexts]
+    rbcs[3].abort()
+    assert rbcs[3].halted
+    assert "ab.0" not in rt.routers[3].active_pids
+    # other parties are unaffected and still deliver among themselves
+    rbcs[0].send(b"x")
+    values = rt.run_all([rbcs[i].delivered for i in range(3)], limit=600)
+    assert values == [b"x"] * 3
+    # the aborted instance never delivers
+    assert not rbcs[3].delivered.done
+
+
+def test_agreement_abort(group4):
+    rt = sim_runtime(group4, seed=2)
+    abas = [BinaryAgreement(ctx, "ab2") for ctx in rt.contexts]
+    abas[2].abort()
+    for i in (0, 1, 3):
+        abas[i].propose(1)
+    # n - t = 3 honest participants still decide
+    results = rt.run_all([abas[i].decided for i in (0, 1, 3)], limit=600)
+    assert {v for v, _ in results} == {1}
+    assert not abas[2].decided.done
+
+
+def test_channel_abort(group4):
+    rt = sim_runtime(group4, seed=3)
+    chans = [AtomicChannel(ctx, "ab3") for ctx in rt.contexts]
+    chans[0].send(b"before")
+    values = rt.run_all([ch.receive() for ch in chans], limit=600)
+    assert set(values) == {b"before"}
+    chans[1].abort()
+    assert chans[1].halted
+    # the remaining three parties (n - t) keep making progress
+    chans[0].send(b"after")
+    values = rt.run_all([chans[i].receive() for i in (0, 2, 3)], limit=3000)
+    assert set(values) == {b"after"}
+
+
+def test_double_abort_is_idempotent(group4):
+    rt = sim_runtime(group4, seed=4)
+    rbc = ReliableBroadcast(rt.contexts[0], "ab4", 0)
+    rbc.abort()
+    rbc.abort()
+    assert rbc.halted
+
+
+def test_aborted_pid_cannot_be_recreated(group4):
+    rt = sim_runtime(group4, seed=5)
+    rbc = ReliableBroadcast(rt.contexts[0], "ab5", 0)
+    rbc.abort()
+    with pytest.raises(ProtocolError):
+        ReliableBroadcast(rt.contexts[0], "ab5", 0)

@@ -1,0 +1,217 @@
+"""Atomic broadcast channel: total order, integrity, fairness, closing."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.channel import AtomicChannel
+from repro.net.faults import CrashFault, FaultPlan, TargetedDelayAdversary
+
+from tests.helpers import no_errors, sim_runtime
+
+
+def _channels(rt, pid="at", parties=None, **kwargs):
+    parties = parties if parties is not None else range(rt.group.n)
+    return {i: AtomicChannel(rt.contexts[i], pid, **kwargs) for i in parties}
+
+
+def _drain(rt, channels, expect, limit=3000):
+    got = {i: [] for i in channels}
+
+    def reader(i, ch):
+        while len(got[i]) < expect:
+            payload = yield ch.receive()
+            got[i].append(payload)
+
+    procs = [rt.spawn(reader(i, ch)) for i, ch in channels.items()]
+    for p in procs:
+        rt.run_until(p.future, limit=limit)
+    return got
+
+
+def test_total_order_single_sender(group4):
+    rt = sim_runtime(group4, seed=1)
+    chans = _channels(rt)
+    msgs = [b"m%d" % k for k in range(5)]
+    for m in msgs:
+        chans[0].send(m)
+    got = _drain(rt, chans, 5)
+    assert got[0] == msgs  # FIFO per sender
+    assert all(g == got[0] for g in got.values())  # total order
+    no_errors(rt)
+
+
+def test_total_order_concurrent_senders(group4):
+    rt = sim_runtime(group4, seed=2)
+    chans = _channels(rt)
+    for k in range(4):
+        for s in range(4):
+            chans[s].send(b"s%d-%d" % (s, k))
+    got = _drain(rt, chans, 16)
+    reference = got[0]
+    assert all(g == reference for g in got.values())
+    assert sorted(reference) == sorted(b"s%d-%d" % (s, k) for k in range(4) for s in range(4))
+
+
+def test_per_sender_fifo(group4):
+    rt = sim_runtime(group4, seed=3)
+    chans = _channels(rt)
+    for k in range(6):
+        chans[2].send(b"x%d" % k)
+    got = _drain(rt, chans, 6)
+    assert got[1] == [b"x%d" % k for k in range(6)]
+
+
+def test_same_bitstring_from_two_senders_delivered_twice(group4):
+    """Integrity is per (origin, sequence number) — paper Sec. 2.5: the
+    same bit string sent by two honest parties is delivered twice."""
+    rt = sim_runtime(group4, seed=4)
+    chans = _channels(rt)
+    chans[0].send(b"dup")
+    chans[1].send(b"dup")
+    got = _drain(rt, chans, 2)
+    assert got[3] == [b"dup", b"dup"]
+
+
+def test_batch_delivery_order_by_signer(group4):
+    """Within a batch, delivery follows the signer index (Sec. 4.1)."""
+    rt = sim_runtime(group4, seed=5)
+    chans = _channels(rt, fairness_f=2)  # batch size n - f + 1 = 3
+    for s in range(4):
+        chans[s].send(b"b%d" % s)
+    _drain(rt, chans, 4)
+    # deliveries recorded as (origin, seq, data): per batch, origins of the
+    # agreed batch appear in ascending signer order; just check all match.
+    assert chans[0].deliveries == chans[2].deliveries
+
+
+def test_close_terminates_after_t_plus_1(group4):
+    rt = sim_runtime(group4, seed=6)
+    chans = _channels(rt)
+    chans[0].send(b"payload")
+    _drain(rt, chans, 1)
+    for ch in chans.values():
+        ch.close()
+    rt.run_all([ch.closed for ch in chans.values()], limit=600)
+    assert all(ch.is_closed() for ch in chans.values())
+    no_errors(rt)
+
+
+def test_single_close_does_not_terminate(group4):
+    """One close request (possibly from a corrupted party) keeps the
+    channel open: termination needs t + 1 requests."""
+    rt = sim_runtime(group4, seed=7)
+    chans = _channels(rt)
+    chans[0].close()
+    chans[1].send(b"still-open")
+    got = _drain(rt, chans, 1)
+    assert got[2] == [b"still-open"]
+    assert not any(ch.is_closed() for ch in chans.values())
+
+
+def test_send_after_close_rejected(group4):
+    rt = sim_runtime(group4)
+    chans = _channels(rt)
+    chans[0].close()
+    with pytest.raises(ProtocolError):
+        chans[0].send(b"late")
+    assert not chans[0].can_send()
+
+
+def test_payload_type_checked(group4):
+    rt = sim_runtime(group4)
+    chans = _channels(rt)
+    with pytest.raises(ProtocolError):
+        chans[0].send("str")  # type: ignore[arg-type]
+
+
+def test_fairness_parameter_validated(group4):
+    rt = sim_runtime(group4)
+    with pytest.raises(ProtocolError):
+        AtomicChannel(rt.contexts[0], "bad-f", fairness_f=1)  # < t+1
+    with pytest.raises(ProtocolError):
+        AtomicChannel(rt.contexts[1], "bad-f2", fairness_f=4)  # > n-t
+
+
+def test_batch_size_default_is_t_plus_1(group4):
+    rt = sim_runtime(group4)
+    ch = AtomicChannel(rt.contexts[0], "bs")
+    assert ch.batch_size == rt.group.t + 1  # the paper's configuration
+
+
+def test_progress_with_one_crashed_party(group4):
+    rt = sim_runtime(group4, seed=8, faults=FaultPlan(crashes=(CrashFault(3),)))
+    chans = _channels(rt, parties=[0, 1, 2])
+    for k in range(3):
+        chans[1].send(b"c%d" % k)
+    got = _drain(rt, chans, 3)
+    assert got[0] == got[2] == [b"c0", b"c1", b"c2"]
+
+
+def test_progress_under_adversarial_delay(group4):
+    rt = sim_runtime(
+        group4, seed=9,
+        faults=FaultPlan(adversary=TargetedDelayAdversary(victims={2}, max_delay=0.3)),
+    )
+    chans = _channels(rt)
+    chans[0].send(b"slow-net")
+    got = _drain(rt, chans, 1, limit=3000)
+    assert all(g == [b"slow-net"] for g in got.values())
+
+
+def test_fairness_adoption(group4):
+    """A message from a party that never gets its own batch slot is adopted
+    and delivered once t+1 = f honest parties know it (fairness)."""
+    rt = sim_runtime(group4, seed=10)
+    chans = _channels(rt)
+    chans[3].send(b"adopt-me")  # only party 3 has anything to send
+    got = _drain(rt, chans, 1)
+    assert all(g == [b"adopt-me"] for g in got.values())
+    # other parties adopted: the round needed batch_size=2 distinct signers
+    assert rt.messages_sent > 0
+
+
+def test_rounds_completed_counted(group4):
+    rt = sim_runtime(group4, seed=11)
+    chans = _channels(rt)
+    for k in range(3):
+        chans[0].send(b"r%d" % k)
+    _drain(rt, chans, 3)
+    assert all(ch.rounds_completed >= 1 for ch in chans.values())
+
+
+def test_seven_party_total_order(group7):
+    rt = sim_runtime(group7, seed=12)
+    chans = _channels(rt)
+    for s in (0, 3, 6):
+        chans[s].send(b"h%d" % s)
+    got = _drain(rt, chans, 3, limit=3000)
+    assert all(g == got[0] for g in got.values())
+    no_errors(rt)
+
+
+def test_bounded_channel_congestion(group4):
+    """max_pending bounds the send buffer (the paper's blocking send /
+    canSend); space frees as messages deliver."""
+    from repro.common.errors import ChannelCongested
+
+    rt = sim_runtime(group4, seed=13)
+    chans = _channels(rt, pid="bounded", max_pending=2)
+    chans[0].send(b"a")
+    chans[0].send(b"b")
+    assert not chans[0].can_send()
+    with pytest.raises(ChannelCongested):
+        chans[0].send(b"c")
+    got = _drain(rt, chans, 2)
+    assert got[1] == [b"a", b"b"]
+    assert chans[0].can_send()  # buffer drained
+    chans[0].send(b"c")
+    got2 = _drain(rt, chans, 1)
+    assert got2[2] == [b"c"]
+
+
+def test_unbounded_by_default(group4):
+    rt = sim_runtime(group4, seed=14)
+    chans = _channels(rt, pid="unbounded")
+    for k in range(50):
+        chans[0].send(b"x%d" % k)
+    assert chans[0].can_send()

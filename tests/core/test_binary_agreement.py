@@ -1,0 +1,244 @@
+"""Randomized binary agreement: agreement, validity, termination under
+adversarial scheduling, bias, validation, Byzantine interference."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.agreement import BinaryAgreement, ValidatedAgreement
+from repro.net.faults import (
+    CrashFault,
+    FaultPlan,
+    TargetedDelayAdversary,
+)
+
+from tests.conftest import cached_group
+from tests.core.byz import GarbageSpammer
+from tests.helpers import no_errors, sim_runtime
+
+
+def _abas(rt, pid="aba", parties=None, **kwargs):
+    parties = parties if parties is not None else range(rt.group.n)
+    return {i: BinaryAgreement(rt.contexts[i], pid, **kwargs) for i in parties}
+
+
+def _decide_all(rt, abas, limit=600):
+    values = rt.run_all([a.decided for a in abas.values()], limit=limit)
+    return [v[0] for v in values]
+
+
+# -- basic properties --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("value", [0, 1])
+def test_unanimous_proposal_decides_that_value(group4, value):
+    """Validity: if all honest propose v, the decision is v."""
+    rt = sim_runtime(group4, seed=value)
+    abas = _abas(rt)
+    for a in abas.values():
+        a.propose(value)
+    assert _decide_all(rt, abas) == [value] * 4
+    no_errors(rt)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_split_proposals_agree(group4, seed):
+    """Agreement over several randomized schedules and coin outcomes."""
+    rt = sim_runtime(group4, seed=seed)
+    abas = _abas(rt)
+    for i, a in abas.items():
+        a.propose(i % 2)
+    decisions = _decide_all(rt, abas)
+    assert len(set(decisions)) == 1
+    no_errors(rt)
+
+
+def test_three_against_one(group4):
+    rt = sim_runtime(group4, seed=9)
+    abas = _abas(rt)
+    for i, a in abas.items():
+        a.propose(1 if i else 0)
+    decisions = _decide_all(rt, abas)
+    assert len(set(decisions)) == 1
+
+
+def test_bool_proposals_accepted(group4):
+    rt = sim_runtime(group4, seed=10)
+    abas = _abas(rt)
+    for a in abas.values():
+        a.propose(True)
+    assert _decide_all(rt, abas) == [1] * 4
+
+
+def test_propose_only_once(group4):
+    rt = sim_runtime(group4)
+    abas = _abas(rt)
+    abas[0].propose(1)
+    with pytest.raises(ProtocolError):
+        abas[0].propose(0)
+
+
+def test_seven_party_split(group7):
+    rt = sim_runtime(group7, seed=11)
+    abas = _abas(rt)
+    for i, a in abas.items():
+        a.propose(i % 2)
+    decisions = _decide_all(rt, abas)
+    assert len(set(decisions)) == 1
+
+
+# -- fault tolerance ------------------------------------------------------------------
+
+
+def test_terminates_with_one_crash(group4):
+    rt = sim_runtime(group4, seed=12, faults=FaultPlan(crashes=(CrashFault(3),)))
+    abas = _abas(rt, parties=[0, 1, 2])
+    for i in (0, 1, 2):
+        abas[i].propose(i % 2)
+    decisions = _decide_all(rt, abas)
+    assert len(set(decisions)) == 1
+
+
+def test_terminates_with_two_crashes_n7(group7):
+    rt = sim_runtime(
+        group7, seed=13,
+        faults=FaultPlan(crashes=(CrashFault(5), CrashFault(6))),
+    )
+    abas = _abas(rt, parties=range(5))
+    for i in range(5):
+        abas[i].propose(i % 2)
+    decisions = _decide_all(rt, abas)
+    assert len(set(decisions)) == 1
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_terminates_under_adversarial_delays(group4, seed):
+    """An adversarial scheduler delaying two victims cannot prevent
+    termination (that is the whole point of the randomized protocol)."""
+    rt = sim_runtime(
+        group4, seed=seed,
+        faults=FaultPlan(
+            adversary=TargetedDelayAdversary(victims={0, 2}, max_delay=0.5)
+        ),
+    )
+    abas = _abas(rt)
+    for i, a in abas.items():
+        a.propose(i % 2)
+    decisions = _decide_all(rt, abas, limit=2000)
+    assert len(set(decisions)) == 1
+    no_errors(rt)
+
+
+def test_garbage_spam_does_not_break(group4):
+    rt = sim_runtime(group4, seed=15)
+    abas = _abas(rt, pid="spam", parties=[1, 2, 3])
+    GarbageSpammer(
+        rt.contexts[0], "spam", ["pre-vote", "main-vote", "coin", "decide"]
+    ).start()
+    for i in (1, 2, 3):
+        abas[i].propose(i % 2)
+    decisions = _decide_all(rt, abas, limit=2000)
+    assert len(set(decisions)) == 1
+
+
+# -- bias ------------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bias", [0, 1])
+def test_bias_wins_on_split(group4, bias):
+    """With a half/half split the biased round-1 coin pulls the decision
+    towards the bias (the adversary controls nothing here)."""
+    rt = sim_runtime(group4, seed=20 + bias)
+    abas = _abas(rt, pid=f"biased{bias}", bias=bias)
+    for i, a in abas.items():
+        a.propose(i % 2)
+    decisions = _decide_all(rt, abas)
+    assert set(decisions) == {bias}
+
+
+def test_bias_cannot_override_unanimity(group4):
+    """All honest propose 0: validity beats a bias of 1."""
+    rt = sim_runtime(group4, seed=22)
+    abas = _abas(rt, pid="b1", bias=1)
+    for a in abas.values():
+        a.propose(0)
+    assert _decide_all(rt, abas) == [0] * 4
+
+
+def test_invalid_bias_rejected(group4):
+    rt = sim_runtime(group4)
+    with pytest.raises(ProtocolError):
+        BinaryAgreement(rt.contexts[0], "bad-bias", bias=2)
+
+
+# -- validation --------------------------------------------------------------------------
+
+
+def _proof_validator(value, proof):
+    """Toy predicate: value 1 needs the proof b'ticket'; 0 needs nothing."""
+    if value == 0:
+        return True
+    return proof == b"ticket"
+
+
+def test_validated_agreement_returns_proof(group4):
+    rt = sim_runtime(group4, seed=30)
+    vabas = {
+        i: ValidatedAgreement(rt.contexts[i], "vaba", _proof_validator, bias=1)
+        for i in range(4)
+    }
+    for a in vabas.values():
+        a.propose(1, b"ticket")
+    results = rt.run_all([a.decided for a in vabas.values()], limit=600)
+    for value, proof in results:
+        assert value == 1 and proof == b"ticket"
+    assert vabas[0].get_proof() == b"ticket"
+
+
+def test_validated_rejects_own_invalid_proposal(group4):
+    rt = sim_runtime(group4)
+    vaba = ValidatedAgreement(rt.contexts[0], "vx", _proof_validator)
+    with pytest.raises(ProtocolError):
+        vaba.propose(1, b"wrong proof")
+
+
+def test_validated_mixed_decides_with_proof(group4):
+    """Some propose 0, some 1-with-proof; whatever wins carries valid data."""
+    for seed in range(4):
+        rt = sim_runtime(group4, seed=40 + seed)
+        vabas = {
+            i: ValidatedAgreement(rt.contexts[i], "vm", _proof_validator, bias=1)
+            for i in range(4)
+        }
+        for i, a in vabas.items():
+            if i < 2:
+                a.propose(1, b"ticket")
+            else:
+                a.propose(0, None)
+        results = rt.run_all([a.decided for a in vabas.values()], limit=600)
+        decisions = {v for v, _ in results}
+        assert len(decisions) == 1
+        for value, proof in results:
+            assert _proof_validator(value, proof)
+
+
+def test_get_proof_before_decision_raises(group4):
+    rt = sim_runtime(group4)
+    aba = BinaryAgreement(rt.contexts[0], "gp")
+    with pytest.raises(ProtocolError):
+        aba.get_proof()
+
+
+# -- convergence behaviour ------------------------------------------------------------------
+
+
+def test_rounds_bounded_in_practice(group4):
+    """Expected-constant rounds: over seeds, all runs finish quickly."""
+    max_round = 0
+    for seed in range(8):
+        rt = sim_runtime(group4, seed=100 + seed)
+        abas = _abas(rt, pid=f"rb{seed}")
+        for i, a in abas.items():
+            a.propose((i + seed) % 2)
+        _decide_all(rt, abas)
+        max_round = max(max_round, max(a.round for a in abas.values()))
+    assert max_round <= 6

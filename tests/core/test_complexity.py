@@ -1,0 +1,106 @@
+"""Message-complexity claims of the paper, checked empirically.
+
+* reliable broadcast has quadratic communication complexity while
+  consistent broadcast is linear in ``n`` (Sec. 2.2);
+* binary agreement involves a quadratic expected number of messages
+  (Sec. 2.3);
+* multi-valued agreement incurs an expected ``O(t n^2)`` messages
+  (Sec. 2.4);
+* consistent broadcast pays computation (signatures) for its smaller
+  message count — the trade-off in Table 1.
+"""
+
+from repro.core.agreement import BinaryAgreement
+from repro.core.broadcast import ConsistentBroadcast, ReliableBroadcast
+
+from tests.conftest import cached_group
+from tests.helpers import sim_runtime
+
+
+def _rbc_messages(n, t):
+    rt = sim_runtime(cached_group(n, t), seed=1)
+    rbcs = [ReliableBroadcast(ctx, "c-rbc", 0) for ctx in rt.contexts]
+    rbcs[0].send(b"x")
+    rt.run_all([r.delivered for r in rbcs])
+    return rt.messages_for_prefix("c-rbc")
+
+
+def _cbc_messages(n, t):
+    rt = sim_runtime(cached_group(n, t), seed=1)
+    cbcs = [ConsistentBroadcast(ctx, "c-cbc", 0) for ctx in rt.contexts]
+    cbcs[0].send(b"x")
+    rt.run_all([c.delivered for c in cbcs])
+    return rt.messages_for_prefix("c-cbc")
+
+
+def test_reliable_broadcast_quadratic():
+    """n send + n^2 echo + n^2 ready: growth from n=4 to n=7 is ~(7/4)^2."""
+    m4, m7 = _rbc_messages(4, 1), _rbc_messages(7, 2)
+    assert m4 == 4 + 2 * 16  # exactly n + 2n^2 in a quiet run
+    assert m7 == 7 + 2 * 49
+    assert 2.0 < m7 / m4 < 4.0  # quadratic, not linear
+
+
+def test_consistent_broadcast_linear():
+    """n send + n echo + n final: exactly 3n messages."""
+    m4, m7 = _cbc_messages(4, 1), _cbc_messages(7, 2)
+    assert m4 == 3 * 4
+    assert m7 == 3 * 7
+    assert m7 / m4 == 7 / 4  # linear in n
+
+
+def test_consistent_cheaper_in_messages_than_reliable():
+    """The paper's Sec. 2.2 trade-off: fewer messages, more computation."""
+    assert _cbc_messages(4, 1) < _rbc_messages(4, 1)
+    assert _cbc_messages(7, 2) < _rbc_messages(7, 2)
+
+
+def test_binary_agreement_quadratic_expected():
+    """Unanimous one-round agreement: ~3 all-to-all exchanges = O(n^2)."""
+
+    def run(n, t):
+        rt = sim_runtime(cached_group(n, t), seed=2)
+        abas = [BinaryAgreement(ctx, "c-aba") for ctx in rt.contexts]
+        for a in abas:
+            a.propose(1)
+        rt.run_all([a.decided for a in abas])
+        return rt.messages_for_prefix("c-aba")
+
+    m4, m7 = run(4, 1), run(7, 2)
+    # pre-vote + main-vote + decide, each n^2: within [2n^2, 5n^2]
+    assert 2 * 16 <= m4 <= 5 * 16, m4
+    assert 2 * 49 <= m7 <= 5 * 49, m7
+    assert 2.0 < m7 / m4 < 4.5  # quadratic growth
+
+
+def test_mvba_message_budget():
+    """One MVBA stays within a small multiple of n^2 when the first
+    candidate wins (the common case; worst case is O(t n^2))."""
+    from repro.core.agreement import ArrayAgreement
+
+    def run(n, t):
+        rt = sim_runtime(cached_group(n, t), seed=3)
+        mvbas = [ArrayAgreement(ctx, "c-mvba") for ctx in rt.contexts]
+        for i, m in enumerate(mvbas):
+            m.propose(b"p%d" % i)
+        rt.run_all([m.decided for m in mvbas])
+        iterations = max(m.rounds_used for m in mvbas)
+        return rt.messages_for_prefix("c-mvba"), iterations
+
+    m4, it4 = run(4, 1)
+    # VCBC (3n per instance, n instances) + votes (n^2) + VBA (~3-4 n^2)
+    # per iteration; generous envelope: 20 n^2 per iteration used
+    assert m4 <= 20 * 16 * it4, (m4, it4)
+    m7, it7 = run(7, 2)
+    assert m7 <= 20 * 49 * it7, (m7, it7)
+
+
+def test_per_message_type_breakdown_available():
+    rt = sim_runtime(cached_group(4, 1), seed=4)
+    rbcs = [ReliableBroadcast(ctx, "c-bd", 0) for ctx in rt.contexts]
+    rbcs[0].send(b"x")
+    rt.run_all([r.delivered for r in rbcs])
+    assert rt.protocol_messages[("c-bd.0", "send")] == 4
+    assert rt.protocol_messages[("c-bd.0", "echo")] == 16
+    assert rt.protocol_messages[("c-bd.0", "ready")] == 16
+    assert rt.protocol_bytes["c-bd.0"] > 0

@@ -1,0 +1,58 @@
+"""The Party facade and top-level quick_group API."""
+
+from repro import quick_group
+from repro.core import (
+    ArrayAgreement,
+    AtomicChannel,
+    BinaryAgreement,
+    ConsistentBroadcast,
+    ConsistentChannel,
+    Party,
+    ReliableBroadcast,
+    ReliableChannel,
+    SecureAtomicChannel,
+    ValidatedAgreement,
+    VerifiableConsistentBroadcast,
+    make_parties,
+)
+
+from tests.helpers import sim_runtime
+
+
+def test_factory_types(group4):
+    rt = sim_runtime(group4)
+    parties = make_parties(rt)
+    p = parties[0]
+    assert isinstance(p.reliable_broadcast("a", 0), ReliableBroadcast)
+    assert isinstance(p.consistent_broadcast("b", 0), ConsistentBroadcast)
+    assert isinstance(
+        p.verifiable_consistent_broadcast("c", 0), VerifiableConsistentBroadcast
+    )
+    assert isinstance(p.binary_agreement("d"), BinaryAgreement)
+    assert isinstance(
+        p.validated_agreement("e", lambda v, pr: True), ValidatedAgreement
+    )
+    assert isinstance(p.array_agreement("f"), ArrayAgreement)
+    assert isinstance(p.atomic_channel("g"), AtomicChannel)
+    assert isinstance(p.secure_atomic_channel("h"), SecureAtomicChannel)
+    assert isinstance(p.reliable_channel("i"), ReliableChannel)
+    assert isinstance(p.consistent_channel("j"), ConsistentChannel)
+    assert p.id == 0 and p.n == 4 and p.t == 1
+
+
+def test_quick_group_end_to_end():
+    rt, parties = quick_group(n=4, t=1, seed=5)
+    assert len(parties) == 4 and all(isinstance(p, Party) for p in parties)
+    chans = [p.atomic_channel("qg") for p in parties]
+    chans[0].send(b"hi")
+    values = rt.run_all([ch.receive() for ch in chans])
+    assert values == [b"hi"] * 4
+
+
+def test_quick_group_negotiation():
+    rt, parties = quick_group(n=4, t=1, seed=6)
+    abas = [p.binary_agreement("qa") for p in parties]
+    for i, a in enumerate(abas):
+        a.propose(i % 2)
+    decisions = {v for v, _ in rt.run_all([a.decided for a in abas], limit=600)}
+    assert len(decisions) == 1

@@ -1,0 +1,119 @@
+"""The stability mechanism over the consistent channel (Sec. 2.7)."""
+
+import pytest
+
+from repro.core.channel import StabilizedConsistentChannel
+from repro.net.faults import CrashFault, FaultPlan
+
+from tests.helpers import no_errors, sim_runtime
+
+
+def _channels(rt, pid="stab", parties=None):
+    parties = parties if parties is not None else range(rt.group.n)
+    return {
+        i: StabilizedConsistentChannel(rt.contexts[i], pid) for i in parties
+    }
+
+
+def _drain_stable(rt, channels, expect, limit=3000):
+    got = {i: [] for i in channels}
+
+    def reader(i, ch):
+        while len(got[i]) < expect:
+            payload = yield ch.receive_stable()
+            got[i].append(payload)
+
+    procs = [rt.spawn(reader(i, ch)) for i, ch in channels.items()]
+    for p in procs:
+        rt.run_until(p.future, limit=limit)
+    return got
+
+
+def test_stable_stream_delivers_everything(group4):
+    rt = sim_runtime(group4, seed=1)
+    chans = _channels(rt)
+    msgs = [b"s%d" % k for k in range(4)]
+    for m in msgs:
+        chans[0].send(m)
+    got = _drain_stable(rt, chans, 4)
+    assert all(g == msgs for g in got.values())  # per-sender FIFO holds
+    no_errors(rt)
+
+
+def test_raw_stream_still_available(group4):
+    rt = sim_runtime(group4, seed=2)
+    chans = _channels(rt)
+    chans[1].send(b"raw")
+
+    def raw_reader():
+        payload = yield chans[2].receive()
+        return payload
+
+    proc = rt.spawn(raw_reader())
+    rt.run_until(proc.future, limit=600)
+    assert proc.future.value == b"raw"
+    # the stable stream also catches up
+    got = _drain_stable(rt, chans, 1)
+    assert all(g == [b"raw"] for g in got.values())
+
+
+def test_stability_needs_t_plus_1_ackers(group4):
+    """With only the sender's own channel live, nothing becomes stable."""
+    rt = sim_runtime(group4, seed=3)
+    # Only party 0 participates in the stability layer; the others run a
+    # *plain* consistent channel, so no acknowledgment vectors come back.
+    from repro.core.channel import ConsistentChannel
+
+    stab = StabilizedConsistentChannel(rt.contexts[0], "mixed")
+    plain = {
+        i: ConsistentChannel(rt.contexts[i], "mixed") for i in (1, 2, 3)
+    }
+    stab.send(b"lonely")
+    rt.run(until=60)
+    # delivered on the raw stream everywhere...
+    assert plain[1].deliveries == [(0, b"lonely")]
+    # ...and with t+1 = 2 ackers required, 1 (own) is not enough
+    assert not stab.can_receive_stable()
+    assert stab.stability_lag() == 1
+
+
+def test_multiple_senders_stable(group4):
+    rt = sim_runtime(group4, seed=4)
+    chans = _channels(rt)
+    for s in range(4):
+        chans[s].send(b"m%d" % s)
+    got = _drain_stable(rt, chans, 4)
+    for g in got.values():
+        assert sorted(g) == [b"m0", b"m1", b"m2", b"m3"]
+
+
+def test_stability_with_crash(group4):
+    """t = 1 crash: three live parties still reach the t+1 threshold."""
+    rt = sim_runtime(group4, seed=5, faults=FaultPlan(crashes=(CrashFault(3),)))
+    chans = _channels(rt, parties=[0, 1, 2])
+    chans[0].send(b"x")
+    got = _drain_stable(rt, chans, 1)
+    assert all(g == [b"x"] for g in got.values())
+
+
+def test_close_still_works(group4):
+    rt = sim_runtime(group4, seed=6)
+    chans = _channels(rt)
+    chans[0].send(b"y")
+    _drain_stable(rt, chans, 1)
+    for ch in chans.values():
+        ch.close()
+    rt.run_all([ch.closed for ch in chans.values()], limit=600)
+    assert all(ch.is_closed() for ch in chans.values())
+
+
+def test_garbage_ack_vectors_ignored(group4):
+    rt = sim_runtime(group4, seed=7)
+    chans = _channels(rt)
+    chans[0].send(b"z")
+    # inject malformed acknowledgment vectors
+    rt.run_on_node(1, lambda: chans[1].send_all("stab-ack", "not a vector"))
+    rt.run_on_node(1, lambda: chans[1].send_all("stab-ack", [1, 2]))
+    rt.run_on_node(1, lambda: chans[1].send_all("stab-ack", [-1, 0, 0, 0]))
+    got = _drain_stable(rt, chans, 1)
+    assert all(g == [b"z"] for g in got.values())

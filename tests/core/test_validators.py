@@ -1,0 +1,70 @@
+"""Validator interfaces (paper Sec. 3.3 API parity)."""
+
+from repro.core.validators import (
+    ArrayValidatorBase,
+    BinaryValidatorBase,
+    accept_all_array,
+    accept_all_binary,
+)
+
+
+class TicketValidator(BinaryValidatorBase):
+    def is_valid(self, value, proof):
+        return value == 0 or proof == b"ticket"
+
+
+class PrefixValidator(ArrayValidatorBase):
+    def is_valid(self, value):
+        return value.startswith(b"ok:")
+
+
+def test_binary_class_style_validator_is_callable():
+    v = TicketValidator()
+    assert v(0, None)
+    assert v(1, b"ticket")
+    assert not v(1, b"nope")
+
+
+def test_array_class_style_validator_is_callable():
+    v = PrefixValidator()
+    assert v(b"ok:payload")
+    assert not v(b"bad")
+
+
+def test_accept_all():
+    assert accept_all_binary(1, None)
+    assert accept_all_binary(0, b"whatever")
+    assert accept_all_array(b"")
+
+
+def test_class_validators_work_in_agreement(group4):
+    """A class-style validator plugs into ValidatedAgreement."""
+    from repro.core.agreement import ValidatedAgreement
+    from tests.helpers import sim_runtime
+
+    rt = sim_runtime(group4, seed=1)
+    validator = TicketValidator()
+    vabas = [
+        ValidatedAgreement(ctx, "cls-val", validator, bias=1)
+        for ctx in rt.contexts
+    ]
+    for a in vabas:
+        a.propose(1, b"ticket")
+    results = rt.run_all([a.decided for a in vabas], limit=600)
+    assert all(v == 1 and p == b"ticket" for v, p in results)
+
+
+def test_class_validator_in_array_agreement(group4):
+    from repro.core.agreement import ArrayAgreement
+    from tests.helpers import sim_runtime
+
+    rt = sim_runtime(group4, seed=2)
+    validator = PrefixValidator()
+    mvbas = [
+        ArrayAgreement(ctx, "cls-arr", validator=validator)
+        for ctx in rt.contexts
+    ]
+    for i, m in enumerate(mvbas):
+        m.propose(b"ok:%d" % i)
+    results = rt.run_all([m.decided for m in mvbas], limit=600)
+    assert all(v.startswith(b"ok:") for v, _ in results)

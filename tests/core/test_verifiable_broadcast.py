@@ -1,0 +1,92 @@
+"""Verifiable consistent broadcast: closing messages."""
+
+import pytest
+
+from repro.common.encoding import encode
+from repro.common.errors import EncodingError
+from repro.core.broadcast import VerifiableConsistentBroadcast
+
+from tests.helpers import no_errors, sim_runtime
+
+
+def _vcbcs(rt, basepid="vc", sender=0, parties=None):
+    parties = parties if parties is not None else range(rt.group.n)
+    return {
+        i: VerifiableConsistentBroadcast(rt.contexts[i], basepid, sender)
+        for i in parties
+    }
+
+
+def test_closing_transfers_delivery(group4):
+    rt = sim_runtime(group4)
+    # Party 3 does not take part over the network.
+    vcbcs = _vcbcs(rt, parties=[0, 1, 2])
+    late = VerifiableConsistentBroadcast(rt.contexts[3], "late", 0)
+    vcbcs[0].send(b"payload")
+    rt.run_until(vcbcs[1].delivered)
+    closing = vcbcs[1].get_closing()
+    # the closing message is bound to the pid, so reuse a fresh instance
+    # with the same pid shape on party 3 by direct hand-over:
+    target = _vcbcs(rt, basepid="vc", sender=0, parties=[3])[3]
+    assert target.deliver_closing(closing)
+    rt.run()
+    assert target.delivered.done and target.delivered.value == b"payload"
+    no_errors(rt)
+
+
+def test_closing_validation(group4):
+    rt = sim_runtime(group4)
+    vcbcs = _vcbcs(rt, basepid="cv")
+    vcbcs[0].send(b"m")
+    rt.run_until(vcbcs[2].delivered)
+    closing = vcbcs[2].get_closing()
+    crypto = rt.contexts[1].crypto
+    assert VerifiableConsistentBroadcast.is_valid_closing(
+        crypto, vcbcs[2].pid, closing
+    )
+    # bound to the instance: a different pid rejects it
+    assert not VerifiableConsistentBroadcast.is_valid_closing(
+        crypto, "cv.1", closing
+    )
+    assert VerifiableConsistentBroadcast.get_payload_from_closing(closing) == b"m"
+
+
+def test_invalid_closings_rejected(group4):
+    rt = sim_runtime(group4)
+    vcbcs = _vcbcs(rt, basepid="iv")
+    crypto = rt.contexts[0].crypto
+    assert not VerifiableConsistentBroadcast.is_valid_closing(crypto, "iv.0", b"junk")
+    assert not VerifiableConsistentBroadcast.is_valid_closing(
+        crypto, "iv.0", encode((b"payload", b"bad sig"))
+    )
+    assert not vcbcs[1].deliver_closing(b"junk")
+    assert not vcbcs[1].delivered.done
+
+
+def test_get_closing_before_delivery_raises(group4):
+    rt = sim_runtime(group4)
+    vcbcs = _vcbcs(rt, basepid="gd")
+    with pytest.raises(EncodingError):
+        vcbcs[0].get_closing()
+
+
+def test_tampered_payload_in_closing(group4):
+    rt = sim_runtime(group4)
+    vcbcs = _vcbcs(rt, basepid="tp")
+    vcbcs[0].send(b"original")
+    rt.run_until(vcbcs[1].delivered)
+    from repro.common.encoding import decode
+
+    payload, sig = decode(vcbcs[1].get_closing())
+    forged = encode((b"tampered!", sig))
+    fresh = _vcbcs(rt, basepid="tp2")
+    assert not fresh[2].deliver_closing(forged)
+
+
+def test_closing_is_idempotent_after_delivery(group4):
+    rt = sim_runtime(group4)
+    vcbcs = _vcbcs(rt, basepid="idem")
+    vcbcs[0].send(b"x")
+    rt.run_all([v.delivered for v in vcbcs.values()])
+    closing = vcbcs[1].get_closing()
+    assert vcbcs[1].deliver_closing(closing)  # already halted: accepted

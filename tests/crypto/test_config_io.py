@@ -1,0 +1,122 @@
+"""Group-configuration files: save/load round trips, interop, validation."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.crypto import config_io
+from repro.crypto.dealer import fast_group
+from repro.crypto.params import SecurityParams
+
+from tests.conftest import cached_group
+
+
+@pytest.fixture(params=["multi", "shoup"])
+def saved(request, tmp_path):
+    group = cached_group(4, 1, request.param)
+    directory = str(tmp_path / request.param)
+    config_io.save_group(group, directory)
+    return group, directory
+
+
+def test_files_written(saved):
+    _, directory = saved
+    names = sorted(os.listdir(directory))
+    assert names == ["party-0.json", "party-1.json", "party-2.json",
+                     "party-3.json", "public.json"]
+
+
+def test_public_has_no_secrets(saved):
+    group, directory = saved
+    public = json.dumps(config_io.load_public(directory))
+    for i in range(4):
+        assert str(group.party(i).rsa.d) not in public
+        assert str(group.party(i).rsa.p) not in public
+        for key in group.party(i).mac_keys.values():
+            assert key.hex() not in public
+
+
+def test_roundtrip_group_parameters(saved):
+    group, directory = saved
+    loaded = config_io.load_group(directory)
+    assert (loaded.n, loaded.t, loaded.sig_mode) == (group.n, group.t, group.sig_mode)
+    assert loaded.security == group.security
+
+
+def test_loaded_keys_interoperate_with_original(saved):
+    """Signatures/shares from loaded parties verify at original parties."""
+    group, directory = saved
+    loaded = config_io.load_party(directory, 2)
+    msg = b"cross-check"
+    sig = loaded.sign("d", msg)
+    assert group.party(0).verify_party(2, "d", msg, sig)
+    share = loaded.cbc_signer.sign_share(msg)
+    assert group.party(0).cbc_scheme.verify_share(msg, share)
+    coin_share = loaded.coin_holder.release(b"c")
+    assert group.party(1).coin.verify_share(b"c", coin_share)
+
+
+def test_loaded_group_runs_protocols(saved, group4):
+    """A group reconstructed from files runs a full protocol."""
+    _, directory = saved
+    loaded = config_io.load_group(directory)
+    from tests.helpers import sim_runtime
+    from repro.core.broadcast import ConsistentBroadcast
+
+    rt = sim_runtime(loaded, seed=3)
+    cbcs = [ConsistentBroadcast(ctx, "cfg-cbc", 0) for ctx in rt.contexts]
+    cbcs[0].send(b"from files")
+    values = rt.run_all([c.delivered for c in cbcs])
+    assert values == [b"from files"] * 4
+
+
+def test_mac_keys_roundtrip(saved):
+    group, directory = saved
+    a = config_io.load_party(directory, 0)
+    b = config_io.load_party(directory, 1)
+    assert a.mac_keys[1] == b.mac_keys[0] == group.party(0).mac_keys[1]
+
+
+def test_endpoints(tmp_path):
+    group = cached_group(4, 1)
+    directory = str(tmp_path / "ep")
+    endpoints = [("hostA", 9000), ("hostB", 9001), ("hostC", 9002), ("hostD", 9003)]
+    config_io.save_group(group, directory, endpoints=endpoints)
+    assert config_io.load_endpoints(directory) == endpoints
+
+
+def test_wrong_endpoint_count(tmp_path):
+    group = cached_group(4, 1)
+    with pytest.raises(ConfigError):
+        config_io.save_group(group, str(tmp_path), endpoints=[("h", 1)])
+
+
+def test_party_index_validated(saved, tmp_path):
+    _, directory = saved
+    # corrupt the index field
+    path = os.path.join(directory, "party-1.json")
+    with open(path) as f:
+        data = json.load(f)
+    data["index"] = 2
+    with open(path, "w") as f:
+        json.dump(data, f)
+    with pytest.raises(ConfigError):
+        config_io.load_party(directory, 1)
+
+
+def test_bad_format_rejected(tmp_path):
+    with open(tmp_path / "public.json", "w") as f:
+        json.dump({"format": "something-else"}, f)
+    with pytest.raises(ConfigError):
+        config_io.load_public(str(tmp_path))
+
+
+def test_config_without_raw_rejected(tmp_path):
+    group = cached_group(4, 1)
+    from repro.crypto.dealer import GroupConfig
+
+    bare = GroupConfig(n=4, t=1, sig_mode="multi", security=group.security)
+    with pytest.raises(ConfigError):
+        config_io.save_group(bare, str(tmp_path))

@@ -1,0 +1,120 @@
+"""The trusted dealer: configuration validation, key wiring, thresholds."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.crypto.dealer import Dealer, cbc_quorum, fast_group
+from repro.crypto.params import SecurityParams
+
+from tests.conftest import cached_group
+
+
+def test_n_must_exceed_3t():
+    with pytest.raises(ConfigError):
+        Dealer(3, 1)
+    with pytest.raises(ConfigError):
+        Dealer(6, 2)
+    Dealer(4, 1)  # ok
+    Dealer(7, 2)  # ok
+
+
+def test_negative_t_rejected():
+    with pytest.raises(ConfigError):
+        Dealer(4, -1)
+
+
+def test_unknown_sig_mode():
+    with pytest.raises(ConfigError):
+        Dealer(4, 1, sig_mode="quantum")
+
+
+def test_cbc_quorum_values():
+    assert cbc_quorum(4, 1) == 3
+    assert cbc_quorum(7, 2) == 5
+    assert cbc_quorum(10, 3) == 7
+
+
+def test_thresholds_dealt_per_paper():
+    g = cached_group(4, 1)
+    p = g.party(0)
+    assert p.cbc_scheme.k == cbc_quorum(4, 1)
+    assert p.aba_scheme.k == 4 - 1  # n - t
+    assert p.coin.k == 2  # t + 1
+    assert p.enc.k == 2  # t + 1
+
+
+def test_pairwise_mac_keys_symmetric():
+    g = cached_group(4, 1)
+    for i in range(4):
+        for j in range(4):
+            if i == j:
+                assert j not in g.party(i).mac_keys
+            else:
+                assert g.party(i).mac_keys[j] == g.party(j).mac_keys[i]
+
+
+def test_mac_keys_distinct_per_pair():
+    g = cached_group(4, 1)
+    keys = {g.party(0).mac_keys[j] for j in (1, 2, 3)}
+    assert len(keys) == 3
+
+
+def test_party_signatures_interoperate():
+    g = cached_group(4, 1)
+    sig = g.party(2).sign("d", b"msg")
+    assert g.party(0).verify_party(2, "d", b"msg", sig)
+    assert not g.party(0).verify_party(1, "d", b"msg", sig)
+    assert not g.party(0).verify_party(-1, "d", b"msg", sig)
+    assert not g.party(0).verify_party(4, "d", b"msg", sig)
+
+
+def test_coin_interoperates_across_parties():
+    g = cached_group(4, 1)
+    shares = {i + 1: g.party(i).coin_holder.release(b"c") for i in range(2)}
+    assert all(g.party(3).coin.verify_share(b"c", s) for s in shares.values())
+    bit = g.party(3).coin.assemble_bit(b"c", shares)
+    assert bit in (0, 1)
+
+
+def test_enc_public_key_shared():
+    g = cached_group(4, 1)
+    assert g.enc_public_key is g.party(0).enc.public
+
+
+def test_deterministic_dealing():
+    a = fast_group(4, 1, SecurityParams.toy(), seed=42)
+    b = fast_group(4, 1, SecurityParams.toy(), seed=42)
+    assert a.party(0).rsa.n == b.party(0).rsa.n
+    assert a.party(1).mac_keys[2] == b.party(1).mac_keys[2]
+    c = fast_group(4, 1, SecurityParams.toy(), seed=43)
+    assert a.party(0).rsa.n != c.party(0).rsa.n
+
+
+def test_shoup_mode_uses_threshold_scheme():
+    g = cached_group(4, 1, "shoup")
+    from repro.crypto.threshold_sig import ShoupThresholdScheme
+
+    assert isinstance(g.party(0).cbc_scheme, ShoupThresholdScheme)
+    # shares interoperate
+    msg = b"hello"
+    shares = {
+        i + 1: g.party(i).cbc_signer.sign_share(msg) for i in range(3)
+    }
+    sig = g.party(3).cbc_scheme.combine(msg, shares)
+    assert g.party(3).cbc_scheme.verify(msg, sig)
+
+
+def test_multi_mode_uses_multisignatures():
+    g = cached_group(4, 1, "multi")
+    from repro.crypto.threshold_sig import MultiSignatureScheme
+
+    assert isinstance(g.party(0).cbc_scheme, MultiSignatureScheme)
+
+
+def test_seven_party_group():
+    g = cached_group(7, 2)
+    assert g.n == 7 and g.t == 2
+    assert g.party(6).cbc_scheme.k == cbc_quorum(7, 2)
+    msg = b"seven"
+    shares = {i + 1: g.party(i).aba_signer.sign_share(msg) for i in range(5)}
+    assert g.party(0).aba_scheme.verify(msg, g.party(0).aba_scheme.combine(msg, shares))

@@ -1,0 +1,113 @@
+"""Canonical encoding: round trips, canonicity and malformed input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.encoding import decode, encode
+from repro.common.errors import EncodingError
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 40), max_value=10 ** 40),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+)
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=5),
+        st.lists(inner, max_size=5).map(tuple),
+    ),
+    max_leaves=20,
+)
+
+
+@given(values)
+@settings(max_examples=300)
+def test_roundtrip(value):
+    assert decode(encode(value)) == value
+
+
+def _typed_eq(a, b):
+    """Equality that, unlike Python's, distinguishes bool from int —
+    the encoding is canonical with respect to *typed* values."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(_typed_eq(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+@given(values, values)
+def test_canonical(a, b):
+    """Typed-equal values encode equally; others encode differently."""
+    if _typed_eq(a, b):
+        assert encode(a) == encode(b)
+    else:
+        assert encode(a) != encode(b)
+
+
+def test_scalar_examples():
+    assert decode(encode(0)) == 0
+    assert decode(encode(-1)) == -1
+    assert decode(encode(2 ** 4096)) == 2 ** 4096
+    assert decode(encode(b"")) == b""
+    assert decode(encode("héllo")) == "héllo"
+    assert decode(encode(())) == ()
+    assert decode(encode([])) == []
+
+
+def test_bool_is_not_int():
+    assert decode(encode(True)) is True
+    assert decode(encode(1)) == 1
+    assert encode(True) != encode(1)
+
+
+def test_tuple_list_distinct():
+    assert encode((1, 2)) != encode([1, 2])
+    assert decode(encode((1, 2))) == (1, 2)
+    assert decode(encode([1, 2])) == [1, 2]
+
+
+def test_nested_structures():
+    value = ("pid", 3, [b"a", (None, False)], "x")
+    assert decode(encode(value)) == value
+
+
+def test_unsupported_type():
+    with pytest.raises(EncodingError):
+        encode(3.14)
+    with pytest.raises(EncodingError):
+        encode({"a": 1})
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        b"",  # missing tag
+        b"Z",  # unknown tag
+        b"I\x00\x00\x00\x01",  # truncated integer
+        b"I\x00\x00\x00\x00?",  # bad sign byte
+        b"B\x00\x00\x00\x05ab",  # truncated bytes
+        b"L\x00\x00\x00\x02T",  # truncated list
+        encode(1) + b"extra",  # trailing garbage
+        b"I\x00\x00\x00\x00-",  # negative zero
+        b"S\x00\x00\x00\x02\xff\xfe",  # invalid UTF-8
+    ],
+)
+def test_malformed(raw):
+    with pytest.raises(EncodingError):
+        decode(raw)
+
+
+@given(st.binary(max_size=40))
+@settings(max_examples=200)
+def test_fuzz_decode_never_crashes_weirdly(raw):
+    """decode either succeeds or raises EncodingError, nothing else."""
+    try:
+        value = decode(raw)
+    except EncodingError:
+        return
+    assert encode(value) == raw  # decodable input must re-encode identically

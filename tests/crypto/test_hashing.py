@@ -1,0 +1,74 @@
+"""Random-oracle utilities: determinism, ranges, domain separation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import hashing
+from repro.crypto.params import get_dl_group
+
+
+def test_oracle_bytes_deterministic_and_sized():
+    a = hashing.oracle_bytes("d", b"x", 100)
+    b = hashing.oracle_bytes("d", b"x", 100)
+    assert a == b and len(a) == 100
+
+
+def test_oracle_bytes_prefix_consistent():
+    long = hashing.oracle_bytes("d", b"x", 96)
+    short = hashing.oracle_bytes("d", b"x", 32)
+    assert long[:32] == short
+
+
+def test_domain_separation():
+    assert hashing.oracle_bytes("a", b"x", 32) != hashing.oracle_bytes("b", b"x", 32)
+    assert hashing.hash_to_int("a", b"x", 1 << 128) != hashing.hash_to_int(
+        "b", b"x", 1 << 128
+    )
+
+
+@given(st.binary(max_size=32), st.integers(min_value=2, max_value=10 ** 30))
+def test_hash_to_int_in_range(data, bound):
+    v = hashing.hash_to_int("t", data, bound)
+    assert 0 <= v < bound
+
+
+@given(st.binary(max_size=32))
+@settings(max_examples=20)
+def test_hash_to_group_membership(data):
+    g = get_dl_group(256)
+    x = hashing.hash_to_group("t", data, g.p, g.q)
+    assert g.is_member(x)
+    assert x != 1
+
+
+@given(st.binary(max_size=32))
+@settings(max_examples=20)
+def test_fdh_coprime(data):
+    n = 3 * 5 * 7 * 11 * 104729
+    x = hashing.fdh_to_zn("t", data, n)
+    assert 2 <= x < n
+    from math import gcd
+
+    assert gcd(x, n) == 1
+
+
+def test_keystream_xor_roundtrip():
+    key = b"k" * 32
+    msg = b"the quick brown fox"
+    ct = hashing.xor_bytes(msg, hashing.keystream(key, len(msg)))
+    assert ct != msg
+    assert hashing.xor_bytes(ct, hashing.keystream(key, len(ct))) == msg
+
+
+def test_xor_bytes_length_mismatch():
+    import pytest
+
+    with pytest.raises(ValueError):
+        hashing.xor_bytes(b"ab", b"a")
+
+
+def test_challenge_depends_on_all_parts():
+    c1 = hashing.challenge("d", (1, 2, 3), 1 << 64)
+    c2 = hashing.challenge("d", (1, 2, 4), 1 << 64)
+    c3 = hashing.challenge("d", (1, 2, 3), 1 << 64)
+    assert c1 == c3 != c2

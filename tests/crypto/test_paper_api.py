@@ -1,0 +1,102 @@
+"""The Sec. 3.1 staged API adapter."""
+
+import random
+
+import pytest
+
+from repro.common.errors import CryptoError, InvalidShare
+from repro.crypto.coin import ThresholdCoin
+from repro.crypto.paper_api import ThresholdCoinAPI
+from repro.crypto.params import get_dl_group
+
+
+@pytest.fixture(scope="module")
+def dealt():
+    group = get_dl_group(256)
+    coin, secrets = ThresholdCoin.deal(4, 2, 1, group, random.Random(5), "api.coin")
+    return coin, secrets
+
+
+def test_release_verify_assemble_cycle(dealt):
+    coin, secrets = dealt
+    shares = []
+    for i in (1, 2):
+        api = ThresholdCoinAPI(coin, index=i)
+        api.init_release(secrets[i - 1])
+        api.update(b"round-")
+        api.update(b"42")  # incremental updates accumulate the name
+        shares.append(api.release())
+
+    verifier = ThresholdCoinAPI(coin)
+    verifier.init_verify_share()
+    verifier.update(b"round-42")
+    assert all(verifier.verify_share(s) for s in shares)
+
+    assembler = ThresholdCoinAPI(coin)
+    assembler.init_assemble()
+    assembler.update(b"round-42")
+    value = assembler.assemble(shares, 8)
+    assert len(value) == 8
+
+    # matches the native API's value
+    from repro.common.encoding import decode
+
+    native = coin.assemble_bytes(
+        b"round-42", {decode(s)[0]: s for s in shares}, 8
+    )
+    assert value == native
+
+
+def test_instance_reusable_after_operation(dealt):
+    coin, secrets = dealt
+    api = ThresholdCoinAPI(coin, index=1)
+    api.init_release(secrets[0])
+    api.update(b"first")
+    s1 = api.release()
+    api.init_release(secrets[0])
+    api.update(b"second")
+    s2 = api.release()
+    assert s1 != s2
+
+
+def test_mode_discipline(dealt):
+    coin, secrets = dealt
+    api = ThresholdCoinAPI(coin, index=1)
+    with pytest.raises(CryptoError):
+        api.update(b"x")  # no init yet
+    with pytest.raises(CryptoError):
+        api.release()
+    api.init_verify_share()
+    with pytest.raises(CryptoError):
+        api.release()  # wrong mode
+    api.init_release(secrets[0])
+    api.update(b"n")
+    api.release()
+    with pytest.raises(CryptoError):
+        api.release()  # consumed; must re-init
+
+
+def test_release_requires_index(dealt):
+    coin, secrets = dealt
+    api = ThresholdCoinAPI(coin)  # verifier-side instance
+    with pytest.raises(CryptoError):
+        api.init_release(secrets[0])
+
+
+def test_assemble_rejects_invalid_share(dealt):
+    coin, secrets = dealt
+    api = ThresholdCoinAPI(coin, index=1)
+    api.init_release(secrets[0])
+    api.update(b"name")
+    good = api.release()
+    assembler = ThresholdCoinAPI(coin)
+    assembler.init_assemble()
+    assembler.update(b"name")
+    with pytest.raises(InvalidShare):
+        assembler.assemble([good, b"garbage"], 4)
+
+
+def test_thresholds_exposed(dealt):
+    coin, _ = dealt
+    api = ThresholdCoinAPI(coin)
+    assert (api.n, api.k, api.t) == (4, 2, 1)

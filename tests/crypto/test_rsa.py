@@ -1,0 +1,68 @@
+"""Standard RSA-FDH signatures."""
+
+import random
+
+import pytest
+
+from repro.common.errors import CryptoError, InvalidSignature
+from repro.crypto import rsa
+
+RNG = random.Random(11)
+KP = rsa.generate_keypair(256, RNG)
+
+
+def test_sign_verify_roundtrip():
+    sig = KP.sign("d", b"message")
+    assert KP.public.verify("d", b"message", sig)
+
+
+def test_wrong_message_rejected():
+    sig = KP.sign("d", b"message")
+    assert not KP.public.verify("d", b"other", sig)
+
+
+def test_wrong_domain_rejected():
+    sig = KP.sign("d", b"message")
+    assert not KP.public.verify("e", b"message", sig)
+
+
+def test_wrong_key_rejected():
+    other = rsa.generate_keypair(256, random.Random(12))
+    sig = KP.sign("d", b"message")
+    assert not other.public.verify("d", b"message", sig)
+
+
+def test_signature_range_checked():
+    assert not KP.public.verify("d", b"m", 0)
+    assert not KP.public.verify("d", b"m", KP.n)
+    assert not KP.public.verify("d", b"m", -5)
+
+
+def test_check_raises():
+    with pytest.raises(InvalidSignature):
+        KP.public.check("d", b"m", 123456)
+
+
+def test_crt_consistent_with_plain_pow():
+    x = 0x1234567890ABCDEF
+    assert KP.sign_raw(x) == pow(x, KP.d, KP.n)
+
+
+def test_keypair_from_primes_validates():
+    with pytest.raises(CryptoError):
+        rsa.keypair_from_primes(101, 101)  # equal primes
+    with pytest.raises(CryptoError):
+        rsa.keypair_from_primes(7, 13, e=3)  # gcd(3, phi=72) != 1
+
+
+def test_generated_modulus_size():
+    for bits in (128, 256):
+        kp = rsa.generate_keypair(bits, random.Random(bits))
+        assert kp.n.bit_length() == bits
+        assert kp.public.bits == bits
+
+
+def test_determinism_from_seed():
+    a = rsa.generate_keypair(128, random.Random(99))
+    b = rsa.generate_keypair(128, random.Random(99))
+    assert a.n == b.n and a.d == b.d

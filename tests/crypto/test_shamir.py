@@ -1,0 +1,90 @@
+"""Shamir sharing: reconstruction from any k-subset, secrecy shape."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CryptoError
+from repro.crypto import shamir
+from repro.crypto.params import get_dl_group
+
+Q = 1256076020943064337973112459369526511296185116403  # toy group order
+
+
+@given(
+    st.integers(min_value=1, max_value=Q - 1),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+@settings(max_examples=60)
+def test_field_reconstruction_any_subset(secret, k, seed):
+    n = 7
+    k = min(k + 1, n)
+    rng = random.Random(seed)
+    shares = shamir.share_secret(secret, n, k, Q, rng)
+    indices = list(range(1, n + 1))
+    rng.shuffle(indices)
+    subset = {i: shares.shares[i] for i in indices[:k]}
+    assert shamir.reconstruct_field(subset, k, Q) == secret
+
+
+def test_fewer_than_k_fails():
+    rng = random.Random(1)
+    shares = shamir.share_secret(42, 5, 3, Q, rng)
+    with pytest.raises(CryptoError):
+        shamir.reconstruct_field({1: shares.shares[1], 2: shares.shares[2]}, 3, Q)
+
+
+def test_k1_is_constant_sharing():
+    rng = random.Random(2)
+    shares = shamir.share_secret(99, 4, 1, Q, rng)
+    assert all(v == 99 for v in shares.shares.values())
+
+
+def test_invalid_threshold():
+    rng = random.Random(3)
+    with pytest.raises(CryptoError):
+        shamir.share_secret(1, 4, 5, Q, rng)
+    with pytest.raises(CryptoError):
+        shamir.share_secret(1, 4, 0, Q, rng)
+    with pytest.raises(CryptoError):
+        shamir.share_secret(Q + 1, 4, 2, Q, rng)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=20)
+def test_reconstruct_in_exponent(seed):
+    """g^{f(j)} shares combine to g^{f(0)} — the coin's core operation."""
+    grp = get_dl_group(256)
+    rng = random.Random(seed)
+    secret = rng.randrange(grp.q)
+    shares = shamir.share_secret(secret, 4, 2, grp.q, rng)
+    exp_shares = {
+        i: pow(grp.g, shares.shares[i], grp.p) for i in (2, 4)
+    }
+    combined = shamir.reconstruct_in_exponent(exp_shares, 2, grp.p, grp.q)
+    assert combined == pow(grp.g, secret, grp.p)
+
+
+def test_different_subsets_agree_in_exponent():
+    grp = get_dl_group(256)
+    rng = random.Random(5)
+    shares = shamir.share_secret(123456, 5, 3, grp.q, rng)
+    base = pow(grp.g, 777, grp.p)
+    exp = {i: pow(base, shares.shares[i], grp.p) for i in range(1, 6)}
+    subsets = [(1, 2, 3), (2, 4, 5), (1, 3, 5)]
+    results = {
+        shamir.reconstruct_in_exponent({i: exp[i] for i in s}, 3, grp.p, grp.q)
+        for s in subsets
+    }
+    assert len(results) == 1
+
+
+def test_integer_lagrange_helper():
+    lam = shamir.integer_lagrange([1, 2, 3], n=4)
+    assert all(isinstance(v, int) for v in lam.values())
+    # Delta * f(0) for f(x) = 5 (constant): sum of coefficients == Delta * 5 / 5
+    delta = 24
+    assert sum(lam.values()) == delta

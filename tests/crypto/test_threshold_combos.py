@@ -1,0 +1,90 @@
+"""Threshold schemes across (n, k, t) configurations.
+
+The dual-threshold property (paper Sec. 2.1): ``k`` may be anywhere in
+``(t, n]`` — the coin uses ``k = t+1``, the agreement signatures
+``k = n-t``, the echo certificates ``k = ceil((n+t+1)/2)``.  Every scheme
+must work for all of them.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.common.errors import CryptoError
+from repro.crypto.coin import ThresholdCoin
+from repro.crypto.params import get_dl_group, get_rsa_safe_primes
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.threshold_enc import TDH2Scheme
+from repro.crypto.threshold_sig import MultiSignatureScheme, ShoupThresholdScheme
+
+CONFIGS = [  # (n, k, t)
+    (4, 2, 1),   # coin threshold
+    (4, 3, 1),   # echo quorum / n - t
+    (7, 3, 2),   # coin threshold, n = 7
+    (7, 5, 2),   # n - t and echo quorum, n = 7
+    (10, 4, 3),
+    (10, 7, 3),
+]
+
+
+@pytest.mark.parametrize("n,k,t", CONFIGS)
+def test_coin_configs(n, k, t):
+    group = get_dl_group(256)
+    coin, secrets = ThresholdCoin.deal(n, k, t, group, random.Random(n * k), "cc")
+    holders = [coin.holder(i + 1, secrets[i]) for i in range(n)]
+    name = b"combo"
+    shares = {h.index: h.release(name) for h in holders}
+    assert all(coin.verify_share(name, s) for s in shares.values())
+    # any k-subset agrees; k-1 is insufficient
+    picks = list(itertools.islice(itertools.combinations(shares, k), 3))
+    values = {coin.assemble_bit(name, {i: shares[i] for i in sub}) for sub in picks}
+    assert len(values) == 1
+    with pytest.raises(CryptoError):
+        coin.assemble_bit(name, {i: shares[i] for i in list(shares)[: k - 1]})
+
+
+@pytest.mark.parametrize("n,k,t", CONFIGS)
+def test_tdh2_configs(n, k, t):
+    group = get_dl_group(256)
+    scheme, secrets = TDH2Scheme.deal(n, k, t, group, random.Random(n + k), "ce")
+    holders = [scheme.holder(i + 1, secrets[i]) for i in range(n)]
+    ct = scheme.encrypt(b"combo msg", b"L", random.Random(1))
+    shares = {h.index: h.decryption_share(ct) for h in holders[:k]}
+    assert scheme.combine(ct, shares) == b"combo msg"
+
+
+@pytest.mark.parametrize("n,k,t", [(4, 3, 1), (7, 5, 2)])
+def test_shoup_configs(n, k, t):
+    p, q = get_rsa_safe_primes(256)
+    scheme, secrets = ShoupThresholdScheme.deal(
+        n, k, t, p, q, random.Random(n), "cs"
+    )
+    signers = [scheme.signer(i + 1, secrets[i]) for i in range(n)]
+    msg = b"combo sig"
+    # a quorum chosen from the *tail* indices (Lagrange over any subset)
+    shares = {s.index: s.sign_share(msg) for s in signers[-k:]}
+    sig = scheme.combine(msg, shares)
+    assert scheme.verify(msg, sig)
+
+
+@pytest.mark.parametrize("n,k,t", [(4, 3, 1), (10, 7, 3)])
+def test_multisig_configs(n, k, t):
+    rng = random.Random(n * 31)
+    keys = [generate_keypair(256, rng) for _ in range(n)]
+    scheme = MultiSignatureScheme(n, k, t, [kp.public for kp in keys], "cm")
+    signers = [scheme.signer(i + 1, keys[i]) for i in range(n)]
+    msg = b"combo multi"
+    shares = {s.index: s.sign_share(msg) for s in signers[:k]}
+    assert scheme.verify(msg, scheme.combine(msg, shares))
+
+
+def test_invalid_thresholds_rejected():
+    group = get_dl_group(256)
+    with pytest.raises(CryptoError):
+        ThresholdCoin.deal(4, 1, 1, group, random.Random(0), "x")  # k <= t
+    with pytest.raises(CryptoError):
+        ThresholdCoin.deal(4, 5, 1, group, random.Random(0), "x")  # k > n
+    p, q = get_rsa_safe_primes(256)
+    with pytest.raises(CryptoError):
+        ShoupThresholdScheme.deal(4, 1, 1, p, q, random.Random(0), "x")

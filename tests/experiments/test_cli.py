@@ -1,0 +1,28 @@
+"""The command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_fig3_runs(capsys):
+    assert main(["fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out and "Tokyo" in out and "373" in out
+
+
+def test_fig4_runs(capsys):
+    assert main(["fig4", "--messages", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "P3/Win2k" in out
+
+
+def test_table1_small(capsys):
+    assert main(["table1", "--messages", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "LAN+I'net" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

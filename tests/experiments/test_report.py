@@ -1,0 +1,68 @@
+"""Report formatting and shape helpers."""
+
+from repro.experiments import report
+
+
+def test_paper_table1_complete():
+    assert len(report.PAPER_TABLE1) == 12
+    for setup in report.TABLE1_SETUPS:
+        for ch in report.TABLE1_CHANNELS:
+            assert (setup, ch) in report.PAPER_TABLE1
+
+
+def test_paper_table1_known_values():
+    assert report.PAPER_TABLE1[("LAN", "atomic")] == 0.69
+    assert report.PAPER_TABLE1[("Internet", "secure")] == 3.61
+    assert report.PAPER_TABLE1[("LAN+I'net", "reliable")] == 0.60
+
+
+def test_format_table():
+    out = report.format_table(["a", "bb"], [[1, 2.5], ["x", 3.14159]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "2.50" in out and "3.14" in out
+
+
+def test_table1_report_renders():
+    measured = {k: 0.5 for k in report.PAPER_TABLE1}
+    out = report.table1_report(measured)
+    assert "Table 1" in out
+    assert "LAN+I'net" in out
+    assert "0.69" in out  # paper column present
+
+
+def test_band_fractions():
+    gaps = [0.0, 0.01, 0.8, 0.9, 0.02]
+    low, high = report.band_fractions(gaps, low_band_max=0.1)
+    assert low == 0.6 and high == 0.4
+    assert report.band_fractions([], 0.1) == (0.0, 0.0)
+
+
+def test_series_summary():
+    series = {0: [(0, 0.0), (2, 0.5)], 1: [(1, 0.3)]}
+    out = report.series_summary(series, names=["Zurich", "Tokyo"])
+    assert "Zurich" in out and "Tokyo" in out
+
+
+def test_ratio():
+    assert report.ratio(4.0, 2.0) == 2.0
+    assert report.ratio(1.0, 0.0) == float("inf")
+
+
+def test_text_scatter_renders():
+    series = {0: [(0, 0.0), (2, 0.9)], 1: [(1, 0.0), (3, 0.5)]}
+    out = report.text_scatter(series, names=["Zurich", "Tokyo"], width=20, height=6)
+    assert "o" in out and "x" in out
+    assert "Zurich" in out and "Tokyo" in out
+    assert "0.0s" in out
+    assert "delivery number 0..3" in out
+
+
+def test_text_scatter_empty():
+    assert report.text_scatter({}) == "(no data)"
+
+
+def test_text_scatter_handles_zero_gaps():
+    out = report.text_scatter({0: [(0, 0.0)]}, width=10, height=4)
+    assert "o" in out

@@ -1,0 +1,72 @@
+"""Experiment harness: setups, the runner, result metrics."""
+
+import pytest
+
+from repro.experiments import (
+    HYBRID_SETUP,
+    INTERNET_SETUP,
+    LAN_SETUP,
+    run_channel_experiment,
+)
+from repro.experiments.runner import ExperimentResult, parse_payload
+from repro.experiments.setups import ALL_SETUPS
+
+
+def test_setups_match_paper():
+    assert LAN_SETUP.n == 4 and LAN_SETUP.t == 1
+    assert INTERNET_SETUP.n == 4 and INTERNET_SETUP.t == 1
+    assert HYBRID_SETUP.n == 7 and HYBRID_SETUP.t == 2
+    for s in ALL_SETUPS:
+        assert len(s.hosts) == s.n
+        assert s.measure_at == 0  # the paper measures on P0/Zurich
+
+
+def test_payload_roundtrip():
+    from repro.experiments.runner import _payload
+
+    p = _payload(3, 17)
+    assert len(p) < 32  # short messages, as in the paper
+    assert parse_payload(p) == (3, 17)
+
+
+def test_reliable_experiment_runs():
+    r = run_channel_experiment(LAN_SETUP, "reliable", senders=[0], messages=6, seed=1)
+    assert r.count == 6
+    assert r.mean_delivery_s > 0
+    assert r.messages_sent > 0 and r.bytes_sent > 0
+
+
+def test_multiple_senders_split_evenly():
+    r = run_channel_experiment(
+        LAN_SETUP, "consistent", senders=[0, 1, 2], messages=9, seed=2
+    )
+    assert r.messages == 9
+    senders_seen = {parse_payload(p)[0] for _, p in r.deliveries}
+    assert senders_seen == {0, 1, 2}
+
+
+def test_gap_series():
+    r = run_channel_experiment(LAN_SETUP, "reliable", senders=[0], messages=5, seed=3)
+    gaps = r.gaps()
+    assert len(gaps) == 5 and gaps[0] == 0.0
+    series = r.gap_series_by_sender()
+    assert set(series) == {0}
+    assert len(series[0]) == 5
+
+
+def test_unknown_channel_kind():
+    with pytest.raises(Exception):
+        run_channel_experiment(LAN_SETUP, "quantum", senders=[0], messages=2)
+
+
+def test_atomic_faster_on_lan_than_internet():
+    lan = run_channel_experiment(LAN_SETUP, "atomic", senders=[0], messages=6, seed=4)
+    inet = run_channel_experiment(
+        INTERNET_SETUP, "atomic", senders=[0], messages=6, seed=4
+    )
+    assert inet.mean_delivery_s > lan.mean_delivery_s
+
+
+def test_result_with_few_deliveries():
+    r = ExperimentResult(setup="x", channel="y", senders=(0,), messages=0)
+    assert r.mean_delivery_s == 0.0 and r.gaps() == []

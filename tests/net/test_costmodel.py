@@ -1,0 +1,75 @@
+"""Per-host cost model and the paper's hardware tables."""
+
+import pytest
+
+from repro.crypto.opcount import OpCounter
+from repro.net import costmodel as cm
+
+
+def test_paper_hardware_tables_embedded():
+    """The exp column of both hardware tables (Sec. 4)."""
+    assert [h.exp_ms for h in cm.LAN_HOSTS] == [93.0, 70.0, 105.0, 132.0]
+    assert [h.exp_ms for h in cm.INTERNET_HOSTS] == [93.0, 55.0, 101.0, 427.0]
+    assert [h.mhz for h in cm.LAN_HOSTS] == [933, 800, 332, 730]
+    assert [h.mhz for h in cm.INTERNET_HOSTS] == [933, 997, 548, 200]
+
+
+def test_hybrid_hosts_shape():
+    """Seven hosts; P0/Zurich shared between the setups (Sec. 4)."""
+    assert len(cm.HYBRID_HOSTS) == 7
+    assert cm.HYBRID_HOSTS[0] == cm.LAN_HOSTS[0]
+    # P0 is the same physical machine in both setups
+    assert cm.HYBRID_HOSTS[0].exp_ms == cm.INTERNET_HOSTS[0].exp_ms
+    assert cm.HYBRID_HOSTS[0].mhz == cm.INTERNET_HOSTS[0].mhz
+    assert [h.location for h in cm.HYBRID_HOSTS[4:]] == [
+        "Tokyo", "New York", "California",
+    ]
+
+
+def test_one_full_exp_costs_exp_ms():
+    host = cm.LAN_HOSTS[0]
+    model = cm.CostModel(host)
+    c = OpCounter()
+    c.add(1024, 1024)
+    assert model.seconds(c) == pytest.approx(host.exp_ms / 1000.0)
+
+
+def test_short_exponent_scales_linearly():
+    model = cm.CostModel(cm.LAN_HOSTS[0])
+    c = OpCounter()
+    c.add(1024, 17)
+    expected = (93.0 / 1000.0) * 17 / 1024
+    assert model.seconds(c) == pytest.approx(expected)
+
+
+def test_op_scale_rescales_to_nominal():
+    model = cm.CostModel(cm.LAN_HOSTS[0])
+    small = OpCounter()
+    small.add(512, 512)
+    full = OpCounter()
+    full.add(1024, 1024)
+    assert model.seconds(small, op_scale=2.0) == pytest.approx(model.seconds(full))
+
+
+def test_slowest_host_is_california():
+    slowest = max(cm.INTERNET_HOSTS, key=lambda h: h.exp_ms)
+    assert slowest.location == "California"
+    assert slowest.exp_ms == 427.0
+
+
+def test_overhead_scales_with_exp_time():
+    """Per-message overhead tracks the host's measured JVM/CPU speed, for
+    which the paper's exp column is the proxy (P3/Win2k slower than
+    P2/AIX, matching Figure 4's completion order)."""
+    by_exp = sorted(cm.LAN_HOSTS, key=lambda h: h.exp_ms)
+    overheads = [h.overhead_ms for h in by_exp]
+    assert overheads == sorted(overheads)
+    p2 = next(h for h in cm.LAN_HOSTS if "AIX" in h.cpu)
+    p3 = next(h for h in cm.LAN_HOSTS if "Win2k" in h.cpu)
+    assert p3.overhead_ms > p2.overhead_ms
+
+
+def test_default_cost_models():
+    models = cm.default_cost_models()
+    assert len(models) == 4
+    assert models[0].host is cm.LAN_HOSTS[0]

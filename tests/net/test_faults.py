@@ -1,0 +1,51 @@
+"""Fault-plan primitives."""
+
+import random
+
+from repro.net.faults import (
+    CrashFault,
+    FaultPlan,
+    HealingPartitionAdversary,
+    NetworkAdversary,
+    SlowLinkAdversary,
+    TargetedDelayAdversary,
+)
+
+RNG = random.Random(0)
+
+
+def test_benign_adversary():
+    plan = FaultPlan()
+    assert plan.extra_delay(0, 1, 100, 0.0, RNG) == 0.0
+    assert not plan.drops(0, 100.0)
+
+
+def test_slow_link():
+    adv = SlowLinkAdversary(delays={(0, 1): 2.0})
+    assert adv.extra_delay(0, 1, 10, 0.0, RNG) == 2.0
+    assert adv.extra_delay(1, 0, 10, 0.0, RNG) == 0.0  # directed
+
+
+def test_targeted_delay():
+    adv = TargetedDelayAdversary(victims={2}, min_delay=1.0, max_delay=1.0)
+    assert adv.extra_delay(2, 0, 10, 0.0, RNG) == 1.0
+    assert adv.extra_delay(0, 2, 10, 0.0, RNG) == 1.0
+    assert adv.extra_delay(0, 1, 10, 0.0, RNG) == 0.0
+
+
+def test_partition_heals():
+    adv = HealingPartitionAdversary(group_a={0, 1}, heal_at=5.0)
+    # across the cut, before healing: delayed past heal_at
+    d = adv.extra_delay(0, 2, 10, 1.0, RNG)
+    assert 1.0 + d >= 5.0
+    # within a side: no delay
+    assert adv.extra_delay(0, 1, 10, 1.0, RNG) == 0.0
+    # after healing: no delay
+    assert adv.extra_delay(0, 2, 10, 6.0, RNG) == 0.0
+
+
+def test_crash_fault():
+    plan = FaultPlan(crashes=(CrashFault(victim=1, crash_at=2.0),))
+    assert not plan.drops(1, 1.0)
+    assert plan.drops(1, 2.0)
+    assert not plan.drops(0, 99.0)

@@ -1,0 +1,106 @@
+"""Topology/latency models, the Figure 3 matrix and the TCP model."""
+
+import random
+
+from repro.net import latency as lat
+
+
+def test_uniform_lan_symmetric():
+    m = lat.lan_latency()
+    assert m.mean_one_way(0, 1) == m.mean_one_way(1, 0) > 0
+    assert m.mean_one_way(2, 2) == 0.0
+
+
+def test_fig3_matrix_complete_and_symmetric():
+    m = lat.internet_latency()
+    for a in range(4):
+        for b in range(4):
+            if a != b:
+                assert m.rtt_ms(a, b) == m.rtt_ms(b, a) > 0
+
+
+def test_fig3_values():
+    """The six RTT labels of Figure 3 are all present."""
+    values = sorted(lat.FIG3_RTT_MS.values())
+    assert values == [93.0, 164.0, 230.0, 242.0, 285.0, 373.0]
+
+
+def test_fig3_narrative_tokyo_hardest_to_reach():
+    """Sec. 4.1: Tokyo is the most difficult site to reach."""
+    m = lat.internet_latency()
+    mean_rtt = {
+        site: sum(m.rtt_ms(site, other) for other in range(4) if other != site) / 3
+        for site in range(4)
+    }
+    assert max(mean_rtt, key=mean_rtt.get) == lat.TOKYO
+
+
+def test_fig3_zurich_newyork_fastest():
+    assert min(lat.FIG3_RTT_MS.items(), key=lambda kv: kv[1])[0] == (
+        lat.ZURICH,
+        lat.NEW_YORK,
+    )
+
+
+def test_hybrid_topology():
+    m = lat.hybrid_latency()
+    # LAN pairs are sub-millisecond RTT
+    assert m.rtt_ms(0, 3) < 1.0
+    # remote pairs inherit the Fig. 3 RTTs via their sites
+    assert m.rtt_ms(0, 4) == lat.FIG3_RTT_MS[(lat.ZURICH, lat.TOKYO)]
+    assert m.rtt_ms(4, 6) == lat.FIG3_RTT_MS[(lat.TOKYO, lat.CALIFORNIA)]
+    assert m.rtt_ms(1, 5) == lat.FIG3_RTT_MS[(lat.ZURICH, lat.NEW_YORK)]
+
+
+def test_sample_jitter_positive_and_near_mean():
+    m = lat.internet_latency()
+    rng = random.Random(1)
+    samples = [m.sample(0, 1, rng, nbytes=100) for _ in range(200)]
+    mean = sum(samples) / len(samples)
+    assert all(s > 0 for s in samples)
+    expected = m.mean_one_way(0, 1)
+    assert 0.8 * expected < mean < 1.3 * expected
+
+
+def test_sample_self_is_free():
+    m = lat.lan_latency()
+    rng = random.Random(2)
+    assert m.sample(0, 0, rng) == 0.0
+
+
+def test_paper_rtt_variation_note():
+    """RTT samples vary by ~10% or more, as the paper observed."""
+    m = lat.internet_latency()
+    rng = random.Random(3)
+    samples = [m.sample(0, 1, rng, nbytes=0) for _ in range(300)]
+    mean = sum(samples) / len(samples)
+    spread = (max(samples) - min(samples)) / mean
+    assert spread > 0.10
+
+
+def test_tcp_flights_slow_start():
+    assert lat.tcp_flights(0) == 1
+    assert lat.tcp_flights(1000) == 1
+    assert lat.tcp_flights(lat.MSS) == 1
+    assert lat.tcp_flights(lat.MSS + 1) == 2  # 2 segments, cwnd 1 -> 2 flights
+    assert lat.tcp_flights(3 * lat.MSS) == 2  # 3 segments: 1 + 2
+    assert lat.tcp_flights(4 * lat.MSS) == 3  # 4 segments: 1 + 2 + (1)
+    assert lat.tcp_flights(7 * lat.MSS) == 3  # 1 + 2 + 4
+
+
+def test_tcp_model_only_on_wan():
+    rng = random.Random(4)
+    wan = lat.internet_latency(jitter=0.0)
+    lan = lat.lan_latency(jitter=0.0)
+    small = wan.sample(0, 1, rng, nbytes=100)
+    big = wan.sample(0, 1, rng, nbytes=5 * lat.MSS)
+    assert big > small + wan.mean_one_way(0, 1)  # extra slow-start round trips
+    lan_small = lan.sample(0, 1, rng, nbytes=100)
+    lan_big = lan.sample(0, 1, rng, nbytes=5 * lat.MSS)
+    # on the LAN only transmission time grows (no slow-start penalty)
+    assert lan_big - lan_small < 0.002
+
+
+def test_site_names():
+    assert len(lat.INTERNET_SITE_NAMES) == 4
+    assert lat.INTERNET_SITE_NAMES[lat.TOKYO] == "Tokyo"

@@ -1,0 +1,61 @@
+"""Authenticated link layer: sealing, verification, impersonation."""
+
+import pytest
+
+from repro.common.errors import InvalidSignature, TransportError
+from repro.common.encoding import encode
+from repro.net import links
+
+from tests.conftest import cached_group
+
+
+def test_seal_open_roundtrip():
+    g = cached_group()
+    wire = links.seal(g.party(1), 2, b"body")
+    sender, body = links.open_sealed(g.party(2), wire)
+    assert sender == 1 and body == b"body"
+
+
+def test_self_delivery_untagged():
+    g = cached_group()
+    wire = links.seal(g.party(0), 0, b"self")
+    sender, body = links.open_sealed(g.party(0), wire)
+    assert sender == 0 and body == b"self"
+
+
+def test_impersonation_rejected():
+    """Party 3 cannot forge a frame that claims to be from party 1."""
+    g = cached_group()
+    tag = g.party(3).link_auth(2).tag(b"body")  # 3's key with 2
+    forged = encode((1, tag, b"body"))  # claims sender 1
+    with pytest.raises(InvalidSignature):
+        links.open_sealed(g.party(2), forged)
+
+
+def test_tampered_body_rejected():
+    g = cached_group()
+    wire = links.seal(g.party(1), 2, b"body")
+    from repro.common.encoding import decode
+
+    sender, tag, body = decode(wire)
+    tampered = encode((sender, tag, b"bodY"))
+    with pytest.raises(InvalidSignature):
+        links.open_sealed(g.party(2), tampered)
+
+
+def test_wrong_receiver_rejected():
+    """A frame sealed for 2 does not verify at 3 (pairwise keys)."""
+    g = cached_group()
+    wire = links.seal(g.party(1), 2, b"body")
+    with pytest.raises(InvalidSignature):
+        links.open_sealed(g.party(3), wire)
+
+
+def test_malformed_frames():
+    g = cached_group()
+    with pytest.raises(TransportError):
+        links.open_sealed(g.party(0), b"garbage")
+    with pytest.raises(TransportError):
+        links.open_sealed(g.party(0), encode((1, 2, 3)))
+    with pytest.raises(TransportError):
+        links.open_sealed(g.party(0), encode((99, b"t", b"b")))

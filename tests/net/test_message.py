@@ -1,0 +1,27 @@
+"""Wire message packing."""
+
+import pytest
+
+from repro.common.errors import TransportError
+from repro.common.encoding import encode
+from repro.net.message import Message, pack_body, unpack_body
+
+
+def test_roundtrip():
+    body = pack_body("pid.1", "echo", (1, b"x"))
+    msg = unpack_body(3, body)
+    assert msg == Message(sender=3, pid="pid.1", mtype="echo", payload=(1, b"x"))
+
+
+def test_arbitrary_payloads():
+    for payload in (None, b"", [1, 2], ("a", (b"b", 3)), True):
+        assert unpack_body(0, pack_body("p", "t", payload)).payload == payload
+
+
+def test_malformed_body():
+    with pytest.raises(TransportError):
+        unpack_body(0, b"junk")
+    with pytest.raises(TransportError):
+        unpack_body(0, encode((1, 2)))
+    with pytest.raises(TransportError):
+        unpack_body(0, encode((b"pid-not-str", "t", None)))

@@ -1,0 +1,138 @@
+"""SimRuntime: dispatch, FIFO links, fault integration, statistics."""
+
+import pytest
+
+from repro.core.protocol import Protocol
+from repro.net.faults import CrashFault, FaultPlan, SlowLinkAdversary
+from repro.net.latency import lan_latency
+from repro.net.runtime import SimRuntime
+
+from tests.conftest import cached_group
+from tests.helpers import no_errors
+
+
+class Echo(Protocol):
+    """Replies 'pong' to every 'ping'; records all receptions."""
+
+    def __init__(self, ctx, pid="echo"):
+        super().__init__(ctx, pid)
+        self.seen = []
+
+    def on_message(self, sender, mtype, payload):
+        self.seen.append((self.ctx.now(), sender, mtype, payload))
+        if mtype == "ping":
+            self.unicast(sender, "pong", payload)
+
+
+def _runtime(**kwargs):
+    return SimRuntime(cached_group(), latency=lan_latency(), seed=3, **kwargs)
+
+
+def test_ping_pong():
+    rt = _runtime()
+    protos = [Echo(ctx) for ctx in rt.contexts]
+    rt.run_on_node(0, lambda: protos[0].unicast(1, "ping", b"x"))
+    rt.run()
+    assert any(m[2] == "ping" for m in protos[1].seen)
+    assert any(m[2] == "pong" and m[1] == 1 for m in protos[0].seen)
+    no_errors(rt)
+
+
+def test_fifo_per_pair():
+    rt = _runtime()
+    protos = [Echo(ctx) for ctx in rt.contexts]
+
+    def burst():
+        for i in range(20):
+            protos[0].unicast(1, "ping", i)
+
+    rt.run_on_node(0, burst)
+    rt.run()
+    pings = [m[3] for m in protos[1].seen if m[2] == "ping"]
+    assert pings == list(range(20))  # links deliver in FIFO order
+
+
+def test_self_messages_have_no_latency_but_cpu_cost():
+    rt = _runtime()
+    protos = [Echo(ctx) for ctx in rt.contexts]
+    rt.run_on_node(0, lambda: protos[0].unicast(0, "ping", b"self"))
+    rt.run()
+    assert any(m[1] == 0 and m[2] == "ping" for m in protos[0].seen)
+    # self message also produced a self pong
+    assert any(m[2] == "pong" for m in protos[0].seen)
+
+
+def test_crashed_party_silent():
+    rt = _runtime(faults=FaultPlan(crashes=(CrashFault(victim=0, crash_at=0.0),)))
+    protos = [Echo(ctx) for ctx in rt.contexts]
+    rt.run_on_node(0, lambda: protos[0].unicast(1, "ping", b"x"))
+    rt.run()
+    assert protos[1].seen == []  # nothing from the crashed sender
+
+
+def test_adversarial_delay_applied():
+    rt_fast = _runtime()
+    rt_slow = _runtime(
+        faults=FaultPlan(adversary=SlowLinkAdversary(delays={(0, 1): 3.0}))
+    )
+    for rt in (rt_fast, rt_slow):
+        protos = [Echo(ctx) for ctx in rt.contexts]
+        rt.run_on_node(0, lambda p=protos: p[0].unicast(1, "ping", b"x"))
+        rt.run()
+        rt._arrival = protos[1].seen[0][0]
+    assert rt_slow._arrival > rt_fast._arrival + 2.9
+
+
+def test_statistics_counted():
+    rt = _runtime()
+    protos = [Echo(ctx) for ctx in rt.contexts]
+    rt.run_on_node(0, lambda: protos[0].unicast(1, "ping", b"x"))
+    rt.run()
+    assert rt.messages_sent == 2  # ping + pong
+    assert rt.bytes_sent > 0
+
+
+def test_corrupted_wire_counted_not_crashing():
+    rt = _runtime()
+    [Echo(ctx) for ctx in rt.contexts]
+    rt.sim.schedule(0.0, rt._arrive, 1, b"garbage-frame")
+    rt.run()
+    assert rt.auth_failures == 1
+
+
+def test_host_count_validated():
+    from repro.net.costmodel import LAN_HOSTS
+
+    with pytest.raises(Exception):
+        SimRuntime(cached_group(7, 2), hosts=LAN_HOSTS)  # only 4 specs for n=7
+
+
+def test_api_call_outside_handler_is_scheduled():
+    rt = _runtime()
+    protos = [Echo(ctx) for ctx in rt.contexts]
+    # Context.api from outside any handler must schedule node work.
+    rt.contexts[0].api(lambda: protos[0].unicast(1, "ping", b"via-api"))
+    rt.run()
+    assert any(m[3] == b"via-api" for m in protos[1].seen)
+
+
+def test_trace_records_messages(tmp_path):
+    import json
+
+    rt = SimRuntime(cached_group(), latency=lan_latency(), seed=5, trace=True)
+    protos = [Echo(ctx) for ctx in rt.contexts]
+    rt.run_on_node(0, lambda: protos[0].unicast(1, "ping", b"x"))
+    rt.run()
+    assert rt.trace and rt.trace[0][2] == "echo" and rt.trace[0][3] == "ping"
+    path = tmp_path / "trace.jsonl"
+    count = rt.dump_trace(str(path))
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert len(lines) == count == len(rt.trace)
+    assert lines[0]["type"] == "ping" and lines[0]["from"] == 0
+
+
+def test_trace_disabled_by_default():
+    rt = _runtime()
+    assert rt.trace is None
+    with pytest.raises(Exception):
+        rt.dump_trace("/tmp/never.jsonl")

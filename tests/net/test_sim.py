@@ -1,0 +1,252 @@
+"""Discrete-event simulator: clock, ordering, processes, node CPUs."""
+
+import pytest
+
+from repro.crypto import arith, opcount
+from repro.net.costmodel import CostModel, HostSpec
+from repro.net.sim import SimError, SimFuture, SimNode, SimQueue, Simulator
+
+
+def test_clock_advances_in_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_fifo():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(1.0, seen.append, i)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_run_until_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, 1)
+    sim.schedule(5.0, seen.append, 5)
+    sim.run(until=2.0)
+    assert seen == [1] and sim.now == 2.0
+    sim.run()
+    assert seen == [1, 5]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.now = 5.0
+    with pytest.raises(SimError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_future_resolve_once():
+    sim = Simulator()
+    fut = sim.future()
+    fut.resolve(42)
+    with pytest.raises(SimError):
+        fut.resolve(43)
+
+
+def test_future_callbacks_fire():
+    sim = Simulator()
+    fut = sim.future()
+    got = []
+    fut.add_done_callback(lambda f: got.append(f.value))
+    fut.resolve("x")
+    fut.add_done_callback(lambda f: got.append("late"))
+    sim.run()
+    assert got == ["x", "late"]
+
+
+def test_queue_fifo_and_waiters():
+    sim = Simulator()
+    q = sim.queue()
+    q.put(1)
+    q.put(2)
+    f1, f2 = q.get(), q.get()
+    assert f1.done and f1.value == 1
+    assert f2.done and f2.value == 2
+    f3 = q.get()
+    assert not f3.done
+    q.put(3)
+    assert f3.done and f3.value == 3
+    assert not q.can_get() and len(q) == 0
+
+
+def test_process_sleep_and_future():
+    sim = Simulator()
+    q = sim.queue()
+    log = []
+
+    def producer():
+        yield 1.0
+        q.put("hello")
+        return "done"
+
+    def consumer():
+        item = yield q.get()
+        log.append((sim.now, item))
+        yield 0.5
+        return "bye"
+
+    p1 = sim.spawn(producer())
+    p2 = sim.spawn(consumer())
+    sim.run()
+    assert log == [(1.0, "hello")]
+    assert p1.future.value == "done"
+    assert p2.future.value == "bye"
+    assert sim.now == 1.5
+
+
+def test_process_bad_yield():
+    sim = Simulator()
+
+    def bad():
+        yield "nope"
+
+    sim.spawn(bad())
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_run_until_idle_error():
+    sim = Simulator()
+    fut = sim.future()
+    with pytest.raises(SimError):
+        sim.run_until(fut)
+
+
+def test_deterministic_given_seed():
+    def trace(seed):
+        sim = Simulator(seed=seed)
+        out = []
+        for i in range(5):
+            sim.schedule(sim.rng.random(), out.append, i)
+        sim.run()
+        return out
+
+    assert trace(1) == trace(1)
+    assert trace(1) != trace(2)
+
+
+# -- node CPU modelling ---------------------------------------------------------
+
+
+HOST = HostSpec("X", "lab", "test", 1000, exp_ms=100.0, overhead_ms=0.0)
+
+
+def test_node_charges_overhead():
+    sim = Simulator()
+    node = SimNode(sim, 0, overhead_s=0.5)
+    node.process(lambda: None)
+    assert node.busy_until == 0.5
+    node.process(lambda: None)
+    assert node.busy_until == 1.0  # sequential CPU
+
+
+def test_node_charges_crypto_cost():
+    sim = Simulator()
+    node = SimNode(sim, 0, cost_model=CostModel(HOST))
+    node.process(lambda: arith.mexp(3, 2 ** 1023, 2 ** 1024 - 17))
+    # one full 1024-bit exponentiation at 100 ms
+    assert node.busy_until == pytest.approx(0.1, rel=0.01)
+
+
+def test_node_op_scale():
+    sim = Simulator()
+    node = SimNode(sim, 0, cost_model=CostModel(HOST), op_scale=2.0)
+    node.process(lambda: arith.mexp(3, 2 ** 511, 2 ** 512 - 5))
+    # a 512-bit exp costed as if keys were 1024-bit: 1/8 * 8 = 1 full exp
+    assert node.busy_until == pytest.approx(0.1, rel=0.02)
+
+
+def test_node_effects_fire_at_completion():
+    sim = Simulator()
+    node = SimNode(sim, 0, overhead_s=1.0)
+    times = []
+
+    def handler():
+        node.effect(lambda: times.append(sim.now))
+
+    node.process(handler)
+    sim.run()
+    assert times == [1.0]
+
+
+def test_node_emits_dispatch():
+    sim = Simulator()
+    node = SimNode(sim, 0, overhead_s=0.25)
+    sent = []
+    node.process(lambda: node.emit(3, b"wire"), lambda src, end, tup: sent.append((src, end, tup)))
+    assert sent == [(0, 0.25, (3, b"wire"))]
+
+
+def test_emit_without_dispatcher_fails():
+    sim = Simulator()
+    node = SimNode(sim, 0)
+    with pytest.raises(SimError):
+        node.process(lambda: node.emit(1, b"x"))
+
+
+def test_emit_outside_process_fails():
+    sim = Simulator()
+    node = SimNode(sim, 0)
+    with pytest.raises(SimError):
+        node.emit(1, b"x")
+
+
+def test_busy_node_delays_later_work():
+    sim = Simulator()
+    node = SimNode(sim, 0, overhead_s=1.0)
+    ends = []
+    sim.schedule(0.0, lambda: ends.append(node.process(lambda: None)))
+    sim.schedule(0.1, lambda: ends.append(node.process(lambda: None)))
+    sim.run()
+    assert ends == [1.0, 2.0]  # second task queued behind the first
+
+
+def test_process_exception_fails_its_future():
+    sim = Simulator()
+
+    def crashing():
+        yield 0.1
+        raise RuntimeError("process bug")
+
+    proc = sim.spawn(crashing())
+    sim.run()
+    assert proc.future.done and isinstance(proc.future.error, RuntimeError)
+    with pytest.raises(RuntimeError):
+        sim2 = Simulator()
+        p = sim2.spawn(crashing())
+        sim2.run_until(p.future)
+
+
+def test_rejected_future_propagates_into_awaiter():
+    sim = Simulator()
+    fut = sim.future()
+
+    def awaiter():
+        try:
+            yield fut
+        except ValueError:
+            return "caught"
+        return "not caught"
+
+    proc = sim.spawn(awaiter())
+    fut.reject(ValueError("boom"))
+    sim.run()
+    assert proc.future.value == "caught"
+
+
+def test_reject_then_resolve_forbidden():
+    sim = Simulator()
+    fut = sim.future()
+    fut.reject(ValueError("x"))
+    with pytest.raises(SimError):
+        fut.resolve(1)

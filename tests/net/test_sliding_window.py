@@ -1,0 +1,186 @@
+"""Sliding-window links: reliability over loss, authenticated ACKs
+(the DoS fix the paper's Sec. 3 plans), reordering, duplication."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.encoding import decode, encode
+from repro.common.errors import ProtocolError
+from repro.crypto.hmac_auth import KEY_BYTES, LinkAuthenticator
+from repro.net.sliding_window import (
+    KIND_ACK,
+    SlidingWindowEndpoint,
+    SlidingWindowSender,
+    make_ack_datagram,
+    make_data_datagram,
+)
+
+AUTH = LinkAuthenticator(b"k" * KEY_BYTES)
+SESSION = b"link-0-1"
+
+
+class Harness:
+    """Two endpoints joined by a configurable lossy datagram service."""
+
+    def __init__(self, loss=0.0, dup=0.0, reorder=0.0, seed=0, rto=0.2):
+        self.rng = random.Random(seed)
+        self.loss, self.dup, self.reorder = loss, dup, reorder
+        self.delivered = []
+        self.a_to_b = []  # in-flight datagrams
+        self.b_to_a = []
+        self.a = SlidingWindowEndpoint(
+            AUTH, SESSION, self.a_to_b.append, lambda p: None, rto=rto
+        )
+        self.b = SlidingWindowEndpoint(
+            AUTH, SESSION, self.b_to_a.append, self.delivered.append, rto=rto
+        )
+        self.now = 0.0
+
+    def _channel_step(self, queue, destination):
+        deliverable, queue[:] = queue[:], []
+        for datagram in deliverable:
+            if self.rng.random() < self.loss:
+                continue
+            copies = 2 if self.rng.random() < self.dup else 1
+            for _ in range(copies):
+                destination(datagram, self.now)
+
+    def run(self, rounds=400):
+        for _ in range(rounds):
+            self.now += 0.05
+            if self.rng.random() < self.reorder:
+                self.rng.shuffle(self.a_to_b)
+                self.rng.shuffle(self.b_to_a)
+            self._channel_step(self.a_to_b, self.b.on_datagram)
+            self._channel_step(self.b_to_a, self.a.on_datagram)
+            self.a.poll(self.now)
+            if self.a.sender.idle and not self.a_to_b and not self.b_to_a:
+                break
+
+
+def test_in_order_delivery_no_loss():
+    h = Harness()
+    msgs = [b"m%d" % i for i in range(20)]
+    for m in msgs:
+        h.a.send(m, h.now)
+    h.run()
+    assert h.delivered == msgs
+
+
+@given(
+    seed=st.integers(0, 10 ** 6),
+    loss=st.floats(0.0, 0.5),
+    dup=st.floats(0.0, 0.3),
+    reorder=st.floats(0.0, 1.0),
+    count=st.integers(1, 40),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_reliable_fifo_over_lossy_channel(seed, loss, dup, reorder, count):
+    """Exactly-once, in-order delivery under arbitrary loss/dup/reorder."""
+    h = Harness(loss=loss, dup=dup, reorder=reorder, seed=seed)
+    msgs = [b"p%03d" % i for i in range(count)]
+    for m in msgs:
+        h.a.send(m, h.now)
+    h.run(rounds=3000)
+    assert h.delivered == msgs
+    assert h.a.sender.idle
+
+
+def test_window_bounds_inflight():
+    sender = SlidingWindowSender(AUTH, SESSION, window=4)
+    out = []
+    for i in range(10):
+        out += sender.send(b"x%d" % i, 0.0)
+    assert len(out) == 4  # only the window's worth transmitted
+    assert len(sender._inflight) == 4
+
+
+def test_forged_ack_does_not_advance_window():
+    """The paper's planned fix: forged acknowledgments are rejected, so an
+    attacker cannot make the sender discard undelivered data."""
+    sender = SlidingWindowSender(AUTH, SESSION, window=2)
+    sender.send(b"important", 0.0)
+    forged = decode(make_ack_datagram(LinkAuthenticator(b"x" * KEY_BYTES), SESSION, 1))
+    sender.on_ack(forged, 0.0)
+    assert sender.forged_acks == 1
+    assert not sender.idle  # data still in flight
+    # the sender keeps retransmitting until a genuine ACK arrives
+    assert sender.poll(1.0)
+    genuine = decode(make_ack_datagram(AUTH, SESSION, 1))
+    sender.on_ack(genuine, 1.0)
+    assert sender.idle
+
+
+def test_forged_data_rejected():
+    delivered = []
+    h = Harness()
+    wrong_key = LinkAuthenticator(b"y" * KEY_BYTES)
+    forged = make_data_datagram(wrong_key, SESSION, 0, b"evil")
+    h.b.on_datagram(forged, 0.0)
+    assert h.b.receiver.forged_data == 1
+    assert h.delivered == []
+
+
+def test_tampered_payload_rejected():
+    h = Harness()
+    good = decode(make_data_datagram(AUTH, SESSION, 0, b"real"))
+    tampered = encode((good[0], good[1], good[2], b"fake", good[4]))
+    h.b.on_datagram(tampered, 0.0)
+    assert h.delivered == []
+
+
+def test_wrong_session_ignored():
+    sender = SlidingWindowSender(AUTH, SESSION)
+    sender.send(b"x", 0.0)
+    other = decode(make_ack_datagram(AUTH, b"other-session", 1))
+    sender.on_ack(other, 0.0)
+    assert not sender.idle
+
+
+def test_duplicate_data_counted_and_reacked():
+    h = Harness()
+    datagram = make_data_datagram(AUTH, SESSION, 0, b"once")
+    h.b.on_datagram(datagram, 0.0)
+    h.b.on_datagram(datagram, 0.0)
+    assert h.delivered == [b"once"]
+    assert h.b.receiver.duplicates == 1
+    # both receipts produced a cumulative ACK (ACK repair)
+    assert len(h.b_to_a) == 2
+
+
+def test_retransmission_counter():
+    h = Harness(loss=1.0)  # everything dropped
+    h.a.send(b"void", 0.0)
+    for k in range(3):
+        h.a.poll(0.5 * (k + 1))
+    assert h.a.sender.retransmissions >= 3
+
+
+def test_malformed_datagrams_dropped():
+    h = Harness()
+    for junk in (b"garbage", encode(("dat", 1)), encode(None), encode(("zzz", 1, 2, 3))):
+        h.a.on_datagram(junk, 0.0)
+        h.b.on_datagram(junk, 0.0)
+    assert h.delivered == []
+
+
+def test_invalid_window():
+    with pytest.raises(ProtocolError):
+        SlidingWindowSender(AUTH, SESSION, window=0)
+
+
+def test_payload_type_checked():
+    sender = SlidingWindowSender(AUTH, SESSION)
+    with pytest.raises(ProtocolError):
+        sender.send("text", 0.0)  # type: ignore[arg-type]
+
+
+def test_next_timeout_tracking():
+    sender = SlidingWindowSender(AUTH, SESSION, rto=0.5)
+    assert sender.next_timeout is None
+    sender.send(b"x", 1.0)
+    assert sender.next_timeout == pytest.approx(1.5)

@@ -1,0 +1,104 @@
+"""The asyncio TCP runtime: the same protocols over real sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import TransportError
+from repro.core.agreement import BinaryAgreement
+from repro.core.broadcast import ReliableBroadcast
+from repro.core.channel import AtomicChannel
+from repro.net.tcp import AsyncQueue, TcpNode, local_endpoints
+
+from tests.conftest import cached_group
+
+BASE_PORT = 48210
+
+
+def _run(coro, timeout=60):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def _with_nodes(base_port, body, n=4, t=1):
+    group = cached_group(n, t)
+    nodes = [TcpNode(group, i, local_endpoints(n, base_port)) for i in range(n)]
+    await asyncio.gather(*(node.start() for node in nodes))
+    try:
+        return await body(nodes)
+    finally:
+        await asyncio.gather(*(node.stop() for node in nodes))
+
+
+def test_endpoint_count_checked():
+    group = cached_group()
+    with pytest.raises(TransportError):
+        TcpNode(group, 0, local_endpoints(3))
+
+
+def test_reliable_broadcast_over_tcp():
+    async def body(nodes):
+        rbcs = [ReliableBroadcast(node.ctx, "rbc", 0) for node in nodes]
+        rbcs[0].send(b"over tcp")
+        return await asyncio.gather(*(r.delivered for r in rbcs))
+
+    values = _run(_with_nodes(BASE_PORT, body))
+    assert values == [b"over tcp"] * 4
+
+
+def test_binary_agreement_over_tcp():
+    async def body(nodes):
+        abas = [BinaryAgreement(node.ctx, "aba") for node in nodes]
+        for i, a in enumerate(abas):
+            a.propose(i % 2)
+        return await asyncio.gather(*(a.decided for a in abas))
+
+    results = _run(_with_nodes(BASE_PORT + 10, body))
+    assert len({v for v, _ in results}) == 1
+
+
+def test_atomic_channel_total_order_over_tcp():
+    async def body(nodes):
+        chans = [AtomicChannel(node.ctx, "at") for node in nodes]
+        for k in range(3):
+            chans[k % 4].send(b"m%d" % k)
+
+        async def drain(ch):
+            out = []
+            while len(out) < 3:
+                out.append(await ch.receive())
+            return out
+
+        return await asyncio.gather(*(drain(ch) for ch in chans))
+
+    sequences = _run(_with_nodes(BASE_PORT + 20, body))
+    assert all(seq == sequences[0] for seq in sequences)
+    assert sorted(sequences[0]) == [b"m0", b"m1", b"m2"]
+
+
+def test_auth_failures_counted():
+    async def body(nodes):
+        # a raw client writes garbage to node 0's listening socket
+        host, port = nodes[0].endpoints[0]
+        _, writer = await asyncio.open_connection(host, port)
+        frame = b"not a sealed frame"
+        import struct
+
+        writer.write(struct.pack(">I", len(frame)) + frame)
+        await writer.drain()
+        await asyncio.sleep(0.2)
+        writer.close()
+        return nodes[0].auth_failures
+
+    failures = _run(_with_nodes(BASE_PORT + 30, body))
+    assert failures == 1
+
+
+def test_async_queue_interface():
+    async def body():
+        q = AsyncQueue()
+        assert not q.can_get() and len(q) == 0
+        q.put(1)
+        assert q.can_get() and len(q) == 1
+        assert await q.get() == 1
+
+    _run(body())

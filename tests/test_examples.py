@@ -1,0 +1,35 @@
+"""Every shipped example must run clean (they are executable docs)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "name,args,expect",
+    [
+        ("quickstart.py", [], "SAME sequence"),
+        ("replicated_kvstore.py", [], "Exactly one CAS won"),
+        ("sealed_bid_auction.py", [], "Winner: bid:bob:815"),
+        ("byzantine_agreement_demo.py", [], "multi-valued agreement"),
+        ("internet_testbed.py", ["4"], "Completion order"),
+        ("real_network.py", [], "Total order holds"),
+        ("distributed_ca.py", [], "bit-identical registries"),
+        ("payment_ledger.py", [], "Exactly ONE payment went through"),
+    ],
+)
+def test_example_runs(name, args, expect):
+    result = _run(name, *args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expect in result.stdout

@@ -1,0 +1,85 @@
+"""One-time generation of cryptographic parameter presets.
+
+Generates safe-prime RSA moduli (for Shoup threshold signatures) and
+Schnorr-group discrete-log parameters (for the threshold coin and TDH2),
+and prints them as Python literals for src/repro/crypto/params.py.
+"""
+import random
+import sys
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+                73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151]
+
+def is_probable_prime(n, rng, rounds=40):
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+def gen_safe_prime(bits, rng):
+    while True:
+        q = rng.getrandbits(bits - 1) | (1 << (bits - 2)) | 1
+        if not is_probable_prime(q, rng, rounds=8):
+            continue
+        p = 2 * q + 1
+        if is_probable_prime(p, rng, rounds=40) and is_probable_prime(q, rng, rounds=40):
+            return p
+
+def gen_schnorr_group(pbits, qbits, rng):
+    while True:
+        q = rng.getrandbits(qbits) | (1 << (qbits - 1)) | 1
+        if not is_probable_prime(q, rng):
+            continue
+        # search for p = 2*k*q + 1 of pbits bits
+        for _ in range(40000):
+            k = rng.getrandbits(pbits - qbits - 1) | (1 << (pbits - qbits - 2))
+            p = 2 * k * q + 1
+            if p.bit_length() != pbits:
+                continue
+            if is_probable_prime(p, rng):
+                # generator of order-q subgroup
+                while True:
+                    h = rng.randrange(2, p - 1)
+                    g = pow(h, (p - 1) // q, p)
+                    if g != 1:
+                        return p, q, g
+
+def main():
+    rng = random.Random(20020625)  # deterministic: paper date seed
+    out = []
+    for pbits, qbits in [(256, 160), (512, 160), (768, 160), (1024, 160)]:
+        p, q, g = gen_schnorr_group(pbits, qbits, rng)
+        out.append(f"DL_GROUP_{pbits} = dict(p={p}, q={q}, g={g})")
+        print(out[-1], flush=True)
+    for modbits in [256, 512, 768, 1024]:
+        half = modbits // 2
+        p = gen_safe_prime(half, rng)
+        q = gen_safe_prime(half, rng)
+        while q == p:
+            q = gen_safe_prime(half, rng)
+        out.append(f"RSA_SAFE_{modbits} = dict(p={p}, q={q})")
+        print(out[-1], flush=True)
+    with open("/root/repo/tools/params_generated.txt", "w") as f:
+        f.write("\n".join(out) + "\n")
+    print("DONE", flush=True)
+
+if __name__ == "__main__":
+    main()
