@@ -418,11 +418,33 @@ class OptimisticAtomicChannel(Channel):
         if cert is None:
             return
         state.commit_cert = cert
+        if not state.committed:
+            # This party assembled a full commit certificate from others'
+            # shares before its own prepare certificate completed (its
+            # links were slow), so it never broadcast a commit share.  It
+            # must still do so: with t parties withholding shares, the
+            # honest parties number exactly the quorum k = n - t, so every
+            # honest share is needed for every *other* party's certificate
+            # — skipping here starves slower parties forever.  Sound even
+            # without a prepare certificate: the commit certificate itself
+            # proves the digest was prepared.
+            state.committed = True
+            share = self.ctx.crypto.aba_signer.sign_share(
+                commit_string(self.pid, epoch, s, state.digest)
+            )
+            self.send_all(MSG_COMMIT, (epoch, s, state.digest, share))
         self._deliver_ready_slots()
 
     def _deliver_ready_slots(self) -> None:
         """Deliver contiguously committed slots (cut-bounded in recovery)."""
         while True:
+            if self._terminated:
+                # The previous slot completed the close quorum.  Stop even
+                # if later slots already hold commit certificates: the
+                # channel's final sequence must end at the same slot for
+                # every honest party, and parties differ in which later
+                # certificates they happen to hold at that moment.
+                return
             limit = self._cut if self._cut is not None else None
             s = self._next_deliver
             if limit is not None and s >= limit:

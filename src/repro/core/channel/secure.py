@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, Optional
 
+from repro.common import rng as rng_mod
 from repro.common.encoding import encode
 from repro.common.errors import InvalidCiphertext, ProtocolError
 from repro.core.channel.atomic import KIND_CIPHER, AtomicChannel
@@ -60,9 +61,12 @@ class SecureAtomicChannel(AtomicChannel):
         """Encrypt ``message`` for the channel ``pid`` under the group key.
 
         Usable by entities outside the group that only know the channel's
-        public key.  Returns the serialized ciphertext.
+        public key.  Returns the serialized ciphertext.  Without an
+        explicit ``rng`` the encryption randomness comes from OS entropy
+        (the right default for a real client); pass a seeded stream for
+        reproducible runs.
         """
-        rng = rng or random.Random()
+        rng = rng or rng_mod.fresh()
         return scheme.encrypt(message, encode(("sac", pid)), rng).to_bytes()
 
     def _submit(self, data: bytes) -> None:

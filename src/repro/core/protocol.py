@@ -137,6 +137,14 @@ class Router:
         self._buffered_count = 0
         self.errors: List[Tuple[str, int, Exception]] = []
         self.dropped = 0
+        #: passive observers ``obs(sender, pid, mtype, payload)`` called
+        #: for every message handed to a protocol instance (including
+        #: buffered replays).  Used by the testing harness's invariant
+        #: checkers to watch protocol traffic — e.g. the stability
+        #: checker's acknowledgment-vector monotonicity — without touching
+        #: protocol internals.  Observer exceptions are *not* contained:
+        #: an invariant violation must abort the run.
+        self.observers: List[Callable[[int, str, str, Any], None]] = []
 
     def register(self, protocol: "Protocol") -> None:
         pid = protocol.pid
@@ -190,6 +198,8 @@ class Router:
         self._buffered_count += 1
 
     def _invoke(self, protocol: "Protocol", sender: int, mtype: str, payload: Any) -> None:
+        for obs in self.observers:
+            obs(sender, protocol.pid, mtype, payload)
         try:
             protocol.on_message(sender, mtype, payload)
         except (ReproError, TypeError, ValueError, KeyError, IndexError) as exc:

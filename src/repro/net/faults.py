@@ -13,14 +13,21 @@ kinds of adversaries are provided:
   time; Byzantine *protocol* behaviours (equivocation, bogus shares, wrong
   votes) are implemented as malicious protocol subclasses next to the
   protocols they attack (see ``repro.core``'s tests), since they need the
-  protocol's own message vocabulary.
+  protocol's own message vocabulary.  Wire-level Byzantine behaviour
+  (corrupting/replaying a corrupted party's own frames) lives in
+  :mod:`repro.testing.mutator` and plugs into the runtime's wire taps.
+
+Determinism: adversaries never own an RNG.  Every ``extra_delay`` call
+receives the runtime's dedicated fault stream (``SimRuntime.fault_rng``,
+derived from the root seed), so an adversarial run is reproducible from a
+single integer and fault draws never perturb latency sampling.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 
 class NetworkAdversary:
@@ -82,6 +89,37 @@ class HealingPartitionAdversary(NetworkAdversary):
         if crosses and now < self.heal_at:
             return (self.heal_at - now) + rng.uniform(0.0, 0.05)
         return 0.0
+
+
+@dataclass
+class DelaySpikeAdversary(NetworkAdversary):
+    """Randomly spikes individual messages' delays.
+
+    Each message independently suffers an extra delay of up to
+    ``max_delay`` with probability ``prob`` — the fuzzer's basic tool for
+    exploring delivery orderings: per-pair FIFO is preserved (the runtime
+    clamps arrivals), but cross-link interleavings are randomized.
+    """
+
+    prob: float = 0.1
+    max_delay: float = 1.0
+
+    def extra_delay(self, src, dst, nbytes, now, rng):
+        if rng.random() < self.prob:
+            return rng.uniform(0.0, self.max_delay)
+        return 0.0
+
+
+class CompositeAdversary(NetworkAdversary):
+    """Combines several scheduler adversaries; their delays add up."""
+
+    def __init__(self, adversaries: Sequence[NetworkAdversary]):
+        self.adversaries = tuple(adversaries)
+
+    def extra_delay(self, src, dst, nbytes, now, rng):
+        return sum(
+            a.extra_delay(src, dst, nbytes, now, rng) for a in self.adversaries
+        )
 
 
 @dataclass

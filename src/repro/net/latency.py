@@ -26,6 +26,12 @@ Tokyo - California          373
 
 The paper reports that the measured RTTs vary by 10% or more; latency
 samples are jittered accordingly (log-normal, seeded, deterministic).
+
+Determinism: latency models never own an RNG — every :meth:`~LatencyModel.
+sample` call receives the caller's stream (the runtime passes ``sim.rng``,
+which is derived from the root seed).  Fault adversaries draw from a
+separate derived stream (``SimRuntime.fault_rng``), so the base latency
+schedule of a run is independent of the fault plan.
 """
 
 from __future__ import annotations

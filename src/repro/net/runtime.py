@@ -145,6 +145,24 @@ class SimRuntime:
             )
         self.routers = [Router() for _ in range(n)]
         self.contexts = [SimContext(self, i) for i in range(n)]
+        #: dedicated RNG stream for the fault plan, derived from the root
+        #: seed: fault draws never perturb latency sampling (which stays on
+        #: ``sim.rng``), so removing a fault directive from a schedule
+        #: leaves the rest of the run bit-identical — what makes shrunk
+        #: fuzzer counterexamples replayable.
+        self.fault_rng = self.sim.derive("faults")
+        #: wire-level interceptors ``tap(src, dst, wire, depart)`` applied
+        #: to every outbound frame after the crash filter: return ``None``
+        #: to pass the frame through unchanged, or a list of
+        #: ``(dst, wire)`` replacement deliveries (empty list = drop).
+        #: This is the hook the Byzantine wire mutator plugs into.
+        self.wire_taps: List[
+            Callable[[int, int, bytes, float], Optional[List[Tuple[int, bytes]]]]
+        ] = []
+        #: callbacks ``cb(dst)`` invoked after every inbound frame has been
+        #: handled at ``dst`` — the hook protocol invariant checkers use to
+        #: re-evaluate after each delivery.
+        self.delivery_listeners: List[Callable[[int], None]] = []
         self._fifo_last: Dict[Tuple[int, int], float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -203,6 +221,20 @@ class SimRuntime:
         dst, wire = send_tuple
         if self.faults.drops(src, depart):
             return
+        deliveries: List[Tuple[int, bytes]] = [(dst, wire)]
+        for tap in self.wire_taps:
+            rewritten: List[Tuple[int, bytes]] = []
+            for d, w in deliveries:
+                out = tap(src, d, w, depart)
+                if out is None:
+                    rewritten.append((d, w))
+                else:
+                    rewritten.extend(out)
+            deliveries = rewritten
+        for d, w in deliveries:
+            self._transmit(src, d, w, depart)
+
+    def _transmit(self, src: int, dst: int, wire: bytes, depart: float) -> None:
         self.messages_sent += 1
         self.bytes_sent += len(wire)
         if dst == src:
@@ -215,7 +247,7 @@ class SimRuntime:
             op_scale = self.group.security.nominal_bits / self.group.security.sig_modbits
             nbytes = int(len(wire) * op_scale)
             delay = self.latency.sample(src, dst, self.sim.rng, nbytes=nbytes)
-            delay += self.faults.extra_delay(src, dst, nbytes, depart, self.sim.rng)
+            delay += self.faults.extra_delay(src, dst, nbytes, depart, self.fault_rng)
             arrival = depart + delay
             last = self._fifo_last.get((src, dst), 0.0)
             arrival = max(arrival, last + 1e-9)  # links are FIFO, like TCP
@@ -234,6 +266,8 @@ class SimRuntime:
             self.auth_failures += 1
             return
         self.routers[dst].dispatch(msg.sender, msg.pid, msg.mtype, msg.payload)
+        for cb in self.delivery_listeners:
+            cb(dst)
 
     # -- driving the simulation -------------------------------------------------------
 

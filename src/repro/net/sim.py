@@ -23,6 +23,7 @@ import heapq
 import random
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from repro.common import rng as rng_mod
 from repro.common.errors import ReproError
 from repro.crypto import opcount
 
@@ -155,10 +156,21 @@ class Simulator:
 
     def __init__(self, seed: object = 0):
         self.now = 0.0
+        self.seed = seed
         self.rng = random.Random(repr(("repro.sim", seed)))
         self._heap: List[Tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self.events_processed = 0
+
+    def derive(self, *labels: object) -> random.Random:
+        """An independent RNG stream derived from this simulator's seed.
+
+        Components that draw randomness (fault adversaries, fuzzers,
+        mutators) take their own derived stream instead of sharing
+        :attr:`rng`, so one component's draws never perturb another's —
+        the property that makes shrunk fault schedules replayable.
+        """
+        return rng_mod.derive(self.seed, "sim", *labels)
 
     # -- scheduling -----------------------------------------------------------
 

@@ -1,0 +1,73 @@
+"""Deterministic schedule-exploration and Byzantine fuzzing harness.
+
+Everything a test needs to fuzz the SINTRA stack from one integer seed:
+
+* :mod:`repro.testing.schedule` — seeded fault plans, protocol workload
+  scenarios, the single-case runner and the fuzz campaign driver (also a
+  CLI: ``python -m repro.testing.schedule``);
+* :mod:`repro.testing.invariants` — live protocol safety checkers;
+* :mod:`repro.testing.mutator` — the wire-level Byzantine mutator;
+* :mod:`repro.testing.shrink` — greedy fault-plan minimization.
+
+See ``docs/TESTING.md`` for the guided tour.
+
+Re-exports resolve lazily (PEP 562) so that ``python -m
+repro.testing.schedule`` does not import the CLI module twice.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+_EXPORTS = {
+    "invariants": [
+        "AgreementInvariant",
+        "Invariant",
+        "InvariantSuite",
+        "InvariantViolation",
+        "LedgerInvariant",
+        "SecureCausalityInvariant",
+        "StabilityInvariant",
+        "TotalOrderInvariant",
+    ],
+    "mutator": ["ByzantineMutator", "MutationRates"],
+    "schedule": [
+        "AgreementScenario",
+        "CaseResult",
+        "ChannelScenario",
+        "Directive",
+        "LedgerScenario",
+        "SCENARIOS",
+        "Scenario",
+        "build_fault_plan",
+        "case_seed_for",
+        "default_group",
+        "fuzz",
+        "make_scenario",
+        "plan_from_seed",
+        "report_failures",
+        "run_case",
+    ],
+    "shrink": ["shrink_case"],
+}
+
+_NAME_TO_MODULE = {
+    name: module for module, names in _EXPORTS.items() for name in names
+}
+
+__all__ = sorted(_NAME_TO_MODULE)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _NAME_TO_MODULE.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = importlib.import_module(f"{__name__}.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))

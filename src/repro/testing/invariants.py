@@ -1,0 +1,336 @@
+"""Protocol invariant checkers, evaluated live after every delivery.
+
+Each checker watches a set of protocol instances (one per party) through
+their public inspection state — delivery logs, decision futures, router
+traffic — and raises :class:`InvariantViolation` the moment the paper's
+safety properties stop holding:
+
+* :class:`AgreementInvariant` — binary/multi-valued agreement and
+  validity (paper Secs. 2.3, 2.4);
+* :class:`TotalOrderInvariant` — atomic-channel agreement on the delivery
+  *sequence* plus at-most-once (origin, seq) delivery (Sec. 2.5);
+* :class:`SecureCausalityInvariant` — the secure channel releases
+  cleartexts only for already-ordered ciphertexts, strictly in order
+  (Sec. 2.6);
+* :class:`StabilityInvariant` — acknowledgment vectors are monotone and
+  the stable stream is an in-order subset of the consistent stream
+  (Sec. 2.7);
+* :class:`LedgerInvariant` — replicas at equal command counts have equal
+  state, and the total supply changes only by minting.
+
+Checkers are *incremental*: each call inspects only state appended since
+the previous call, so running them after every single delivery stays
+cheap.  :class:`InvariantSuite` bundles checkers and attaches them to a
+:class:`~repro.net.runtime.SimRuntime` via ``delivery_listeners``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.encoding import decode
+from repro.common.errors import EncodingError
+
+
+class InvariantViolation(AssertionError):
+    """A protocol safety property was observed broken.
+
+    Derives from :class:`AssertionError` so the router's error containment
+    (which swallows protocol-level exceptions) never hides it.
+    """
+
+    def __init__(self, invariant: str, detail: str):
+        super().__init__(f"[{invariant}] {detail}")
+        self.invariant = invariant
+        self.detail = detail
+
+
+class Invariant:
+    """Base checker; subclasses override :meth:`check`."""
+
+    name = "invariant"
+
+    def check(self) -> None:
+        """Raise :class:`InvariantViolation` if the property is broken."""
+
+    def final_check(self) -> None:
+        """End-of-run check (defaults to a last :meth:`check`)."""
+        self.check()
+
+    def fail(self, detail: str) -> None:
+        raise InvariantViolation(self.name, detail)
+
+
+class InvariantSuite:
+    """A bundle of checkers driven by the runtime's delivery hook."""
+
+    def __init__(self, invariants: Optional[Iterable[Invariant]] = None):
+        self.invariants: List[Invariant] = list(invariants or ())
+        self.checks_run = 0
+
+    def add(self, invariant: Invariant) -> "InvariantSuite":
+        self.invariants.append(invariant)
+        return self
+
+    def attach(self, runtime) -> "InvariantSuite":
+        """Re-check every invariant after each delivery on ``runtime``."""
+        runtime.delivery_listeners.append(self._on_delivery)
+        return self
+
+    def _on_delivery(self, dst: int) -> None:
+        self.check_all()
+
+    def check_all(self) -> None:
+        self.checks_run += 1
+        for inv in self.invariants:
+            inv.check()
+
+    def finalize(self) -> None:
+        """Run end-of-run checks (e.g. equal final delivery sequences)."""
+        for inv in self.invariants:
+            inv.final_check()
+
+
+def _prefix_consistent(name: str, inv: Invariant, seqs: Dict[int, Sequence]) -> None:
+    """Every pair of parties' sequences must agree on the common prefix."""
+    if not seqs:
+        return
+    longest_party = max(seqs, key=lambda i: len(seqs[i]))
+    master = seqs[longest_party]
+    for i, seq in seqs.items():
+        for k in range(len(seq)):
+            if seq[k] != master[k]:
+                inv.fail(
+                    f"{name}: party {i} position {k} = {seq[k]!r} but "
+                    f"party {longest_party} delivered {master[k]!r}"
+                )
+
+
+class TotalOrderInvariant(Invariant):
+    """Atomic broadcast: same sequence everywhere, (origin, seq) dedup.
+
+    ``channels`` maps party id to any channel exposing a ``deliveries``
+    list; ``honest`` parties are prefix- and dedup-checked.  ``live``
+    (default: all of ``honest``) is the subset that stayed up for the
+    whole run — only those must agree on the *complete* final sequence,
+    since a crashed-but-honest party legitimately stops mid-prefix.
+    """
+
+    name = "total-order"
+
+    def __init__(
+        self,
+        channels: Dict[int, Any],
+        honest: Iterable[int],
+        live: Optional[Iterable[int]] = None,
+    ):
+        self.channels = {i: channels[i] for i in sorted(honest) if i in channels}
+        self.live = set(self.channels) if live is None else set(live)
+        self._seen_keys: Dict[int, set] = {i: set() for i in self.channels}
+        self._checked: Dict[int, int] = {i: 0 for i in self.channels}
+
+    def check(self) -> None:
+        for i, ch in self.channels.items():
+            log = ch.deliveries
+            for k in range(self._checked[i], len(log)):
+                key = log[k][:2]  # (origin, seq)
+                if key in self._seen_keys[i]:
+                    self.fail(f"party {i} delivered {key} twice")
+                self._seen_keys[i].add(key)
+            self._checked[i] = len(log)
+        _prefix_consistent(
+            "delivery sequence", self, {i: ch.deliveries for i, ch in self.channels.items()}
+        )
+
+    def final_check(self) -> None:
+        self.check()
+        lengths = {
+            i: len(ch.deliveries)
+            for i, ch in self.channels.items()
+            if i in self.live
+        }
+        if len(set(lengths.values())) > 1:
+            self.fail(f"final delivery counts differ among live parties: {lengths}")
+
+
+class AgreementInvariant(Invariant):
+    """Agreement instances: all honest decisions equal (and valid).
+
+    ``valid_values``, when given, is the set of values honest validity
+    permits (e.g. the honest parties' proposals when no party is
+    Byzantine).
+    """
+
+    name = "agreement"
+
+    def __init__(
+        self,
+        instances: Dict[int, Any],
+        honest: Iterable[int],
+        valid_values: Optional[Iterable[Any]] = None,
+    ):
+        self.instances = {i: instances[i] for i in sorted(honest) if i in instances}
+        self.valid_values = None if valid_values is None else list(valid_values)
+
+    def _decisions(self) -> Dict[int, Any]:
+        return {
+            i: inst.decided.value[0]
+            for i, inst in self.instances.items()
+            if inst.decided.done
+        }
+
+    def check(self) -> None:
+        decisions = self._decisions()
+        if len(set(map(repr, decisions.values()))) > 1:
+            self.fail(f"honest parties decided differently: {decisions}")
+        if self.valid_values is not None:
+            for i, v in decisions.items():
+                if v not in self.valid_values:
+                    self.fail(
+                        f"party {i} decided {v!r}, not among the valid "
+                        f"values {self.valid_values!r}"
+                    )
+
+    def final_check(self) -> None:
+        self.check()
+        undecided = [i for i, inst in self.instances.items() if not inst.decided.done]
+        if undecided:
+            self.fail(f"honest parties never decided: {undecided}")
+
+
+class SecureCausalityInvariant(Invariant):
+    """Secure channel: cleartext only after ordering, released in order."""
+
+    name = "secure-causality"
+
+    def __init__(self, channels: Dict[int, Any], honest: Iterable[int]):
+        self.channels = {i: channels[i] for i in sorted(honest) if i in channels}
+        self._last_release: Dict[int, int] = {i: 0 for i in self.channels}
+
+    def check(self) -> None:
+        for i, ch in self.channels.items():
+            released, ordered = ch._next_release, ch._dec_order
+            if released > ordered:
+                self.fail(
+                    f"party {i} released {released} cleartexts but only "
+                    f"{ordered} ciphertexts are ordered"
+                )
+            if released < self._last_release[i]:
+                self.fail(f"party {i} release counter went backwards")
+            self._last_release[i] = released
+
+
+class StabilityInvariant(Invariant):
+    """Stability mechanism: monotone ack vectors, in-order stable subset.
+
+    Watches each honest party's :class:`StabilizedConsistentChannel`:
+
+    * the per-acker acknowledgment vectors the channel accumulates must
+      never decrease (they are cumulative delivery counts);
+    * ``stable_next`` release cursors must be monotone;
+    * each party's stable stream, per sender, must be an in-order
+      subsequence of that party's own raw consistent deliveries (a slot
+      can be skipped when stability outruns local delivery, but never
+      reordered or invented).
+    """
+
+    name = "stability"
+
+    def __init__(self, channels: Dict[int, Any], honest: Iterable[int]):
+        self.channels = {i: channels[i] for i in sorted(honest) if i in channels}
+        self._ack_snapshot: Dict[int, Dict[int, Tuple[int, ...]]] = {
+            i: {} for i in self.channels
+        }
+        self._stable_snapshot: Dict[int, Dict[int, int]] = {
+            i: dict(ch._stable_next) for i, ch in self.channels.items()
+        }
+
+    def check(self) -> None:
+        for i, ch in self.channels.items():
+            for acker, vector in ch._ack_vectors.items():
+                now = tuple(vector[j] for j in sorted(vector))
+                before = self._ack_snapshot[i].get(acker)
+                if before is not None and any(b > n for b, n in zip(before, now)):
+                    self.fail(
+                        f"party {i}: ack vector of {acker} decreased "
+                        f"{before} -> {now}"
+                    )
+                self._ack_snapshot[i][acker] = now
+            for sender, cursor in ch._stable_next.items():
+                if cursor < self._stable_snapshot[i].get(sender, 0):
+                    self.fail(f"party {i}: stable cursor for {sender} decreased")
+                self._stable_snapshot[i][sender] = cursor
+            self._stable_subset(i, ch)
+
+    def _stable_subset(self, i: int, ch) -> None:
+        raw: Dict[int, List[bytes]] = {}
+        for sender, payload in ch.deliveries:
+            raw.setdefault(sender, []).append(payload)
+        cursor: Dict[int, int] = {}
+        for sender, payload in ch.stable_deliveries:
+            seq = raw.get(sender, [])
+            k = cursor.get(sender, 0)
+            while k < len(seq) and seq[k] != payload:
+                k += 1
+            if k >= len(seq):
+                self.fail(
+                    f"party {i}: stable stream for sender {sender} is not an "
+                    f"in-order subset of its consistent deliveries"
+                )
+            cursor[sender] = k + 1
+
+
+class LedgerInvariant(Invariant):
+    """Replicated ledger: replica equality and conservation.
+
+    * any two honest replicas that applied the same number of commands
+      have identical state digests and identical command logs;
+    * at each replica, total supply changes exactly by the amounts of the
+      successfully applied ``open`` (mint) commands — transfers conserve.
+    """
+
+    name = "ledger"
+
+    def __init__(self, services: Dict[int, Any], honest: Iterable[int]):
+        self.services = {i: services[i] for i in sorted(honest) if i in services}
+        self._checked: Dict[int, int] = {i: 0 for i in self.services}
+        self._expected_supply: Dict[int, int] = {i: 0 for i in self.services}
+
+    def check(self) -> None:
+        for i, svc in self.services.items():
+            log = svc.log
+            for k in range(self._checked[i], len(log)):
+                _, result = log[k]
+                self._expected_supply[i] += _minted_amount(result)
+            self._checked[i] = len(log)
+            actual = svc.state.total_supply()
+            if actual != self._expected_supply[i]:
+                self.fail(
+                    f"replica {i}: total supply {actual} != minted "
+                    f"{self._expected_supply[i]} (conservation broken)"
+                )
+        _prefix_consistent(
+            "command log", self,
+            {i: [c for c, _ in svc.log] for i, svc in self.services.items()},
+        )
+        by_applied: Dict[int, Tuple[int, bytes]] = {}
+        for i, svc in self.services.items():
+            digest = svc.state_digest()
+            prev = by_applied.get(svc.applied)
+            if prev is not None and prev[1] != digest:
+                self.fail(
+                    f"replicas {prev[0]} and {i} both applied {svc.applied} "
+                    f"commands but their state digests differ"
+                )
+            by_applied[svc.applied] = (i, digest)
+
+
+def _minted_amount(result: bytes) -> int:
+    """Amount minted by a command, given its recorded result (0 if none)."""
+    try:
+        parsed = decode(result)
+    except EncodingError:
+        return 0
+    if isinstance(parsed, tuple) and len(parsed) == 3 and parsed[0] == "opened":
+        return int(parsed[2])
+    return 0

@@ -1,0 +1,611 @@
+"""Deterministic schedule-exploration fuzzer for the SINTRA stack.
+
+One integer *case seed* determines an entire adversarial run:
+
+* a **fault plan** — random delivery-order exploration (per-message delay
+  spikes), slow links, healing partitions, crash timings and the set of
+  compromised parties, generated as a list of :class:`Directive` records
+  by :func:`plan_from_seed`;
+* the **wire mutation stream** of the compromised parties (a
+  :class:`~repro.testing.mutator.ByzantineMutator`);
+* the protocol **workload** of a chosen :class:`Scenario` (which channel
+  or agreement protocol to run and what the honest parties send).
+
+Everything stays within the paper's model: at most ``t`` parties are
+faulty (crashed or compromised), honest links remain reliable FIFO, and
+partitions heal.  Protocol invariant checkers
+(:mod:`repro.testing.invariants`) run after every delivery; a liveness
+failure surfaces as the simulator going idle or over its time limit.
+
+Replaying is exact: :func:`run_case` with the same ``(scenario, n, t,
+case_seed)`` reproduces the run bit-for-bit, and ``keep`` restricts the
+fault plan to a subset of directive indices — the representation
+:mod:`repro.testing.shrink` minimizes over.  Every failure is reported as
+a one-line ``FUZZ-REPRO:`` command that replays it from the shell::
+
+    PYTHONPATH=src python -m repro.testing.schedule \\
+        --scenario atomic --n 4 --t 1 --case 0x1234abcd --keep 0,3
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common import rng as rng_mod
+from repro.common.encoding import encode
+from repro.crypto.dealer import GroupConfig, fast_group
+from repro.crypto.params import SecurityParams
+from repro.core.party import Party, make_parties
+from repro.net.faults import (
+    CompositeAdversary,
+    CrashFault,
+    DelaySpikeAdversary,
+    FaultPlan,
+    HealingPartitionAdversary,
+    SlowLinkAdversary,
+)
+from repro.net.latency import lan_latency
+from repro.net.runtime import SimRuntime
+from repro.net.sim import SimError
+from repro.testing.invariants import (
+    AgreementInvariant,
+    InvariantSuite,
+    InvariantViolation,
+    LedgerInvariant,
+    SecureCausalityInvariant,
+    StabilityInvariant,
+    TotalOrderInvariant,
+)
+from repro.testing.mutator import ByzantineMutator
+
+
+# --- fault plans ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One replayable element of a fault plan."""
+
+    kind: str  # "spike" | "slow-link" | "partition" | "crash" | "compromise"
+    params: Tuple[Any, ...]
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.params}"
+
+
+def plan_from_seed(case_seed: int, n: int, t: int) -> List[Directive]:
+    """The deterministic fault plan of one fuzz case.
+
+    Scheduler directives (spikes, slow links, one healing partition) are
+    always in the model's envelope; crashes plus compromises never exceed
+    ``t`` parties in total.
+    """
+    r = rng_mod.derive(case_seed, "plan")
+    plan: List[Directive] = []
+    for _ in range(r.randint(1, 3)):
+        plan.append(Directive("spike", (
+            round(r.uniform(0.05, 0.35), 3),   # per-message probability
+            round(r.uniform(0.05, 1.0), 3),    # max extra delay (s)
+        )))
+    for _ in range(r.randint(0, 2)):
+        src, dst = r.randrange(n), r.randrange(n)
+        plan.append(Directive("slow-link", (src, dst, round(r.uniform(0.05, 0.5), 3))))
+    if r.random() < 0.4:
+        side = tuple(sorted(r.sample(range(n), r.randint(1, max(1, n // 2)))))
+        plan.append(Directive("partition", (side, round(r.uniform(0.5, 3.0), 2))))
+    pool = list(range(n))
+    r.shuffle(pool)
+    budget = t
+    crashes = r.randint(0, budget)
+    for _ in range(crashes):
+        plan.append(Directive("crash", (pool.pop(), round(r.uniform(0.0, 2.0), 2))))
+    budget -= crashes
+    for _ in range(r.randint(0, budget)):
+        plan.append(Directive("compromise", (pool.pop(),)))
+    return plan
+
+
+def build_fault_plan(
+    directives: Sequence[Directive],
+) -> Tuple[FaultPlan, Set[int]]:
+    """Materialize directives into a :class:`FaultPlan` + compromised set."""
+    adversaries = []
+    crashes: List[CrashFault] = []
+    compromised: Set[int] = set()
+    for d in directives:
+        if d.kind == "spike":
+            prob, max_delay = d.params
+            adversaries.append(DelaySpikeAdversary(prob=prob, max_delay=max_delay))
+        elif d.kind == "slow-link":
+            src, dst, delay = d.params
+            adversaries.append(SlowLinkAdversary({(src, dst): delay}))
+        elif d.kind == "partition":
+            side, heal_at = d.params
+            adversaries.append(
+                HealingPartitionAdversary(group_a=set(side), heal_at=heal_at)
+            )
+        elif d.kind == "crash":
+            victim, crash_at = d.params
+            crashes.append(CrashFault(victim=victim, crash_at=crash_at))
+        elif d.kind == "compromise":
+            compromised.add(d.params[0])
+        else:  # pragma: no cover - plan generator only emits the kinds above
+            raise ValueError(f"unknown directive kind {d.kind!r}")
+    adversary = CompositeAdversary(adversaries) if adversaries else None
+    return FaultPlan(adversary=adversary, crashes=tuple(crashes)), compromised
+
+
+# --- scenarios ------------------------------------------------------------------
+
+
+@dataclass
+class CaseSetup:
+    """What a scenario hands back to the driver for one run."""
+
+    suite: InvariantSuite
+    #: futures the driver must run to completion, in order
+    futures: List[Any]
+
+
+class Scenario:
+    """A protocol workload the fuzzer can drive.
+
+    ``setup`` builds all protocol instances on ``runtime``, injects the
+    workload (parties in ``crashed`` stay passive; parties in
+    ``compromised`` act honestly at the protocol layer — the wire mutator
+    corrupts their traffic), and returns the invariant suite plus the
+    futures whose resolution defines a live run.
+    """
+
+    name = "scenario"
+
+    def setup(
+        self,
+        runtime: SimRuntime,
+        group: GroupConfig,
+        crashed: Set[int],
+        compromised: Set[int],
+    ) -> CaseSetup:
+        raise NotImplementedError
+
+
+class ChannelScenario(Scenario):
+    """Fuzz one of the broadcast channels end to end.
+
+    Every non-crashed party sends ``messages_per_party`` payloads and
+    closes; the run is live when every never-faulty party's channel
+    terminates.  ``channel_overrides`` maps a party id to a replacement
+    channel factory ``(party) -> Channel`` — the hook the planted-bug
+    tests use to infect a single replica.
+    """
+
+    #: kind -> (factory attribute on Party, extra kwargs)
+    KINDS: Dict[str, Tuple[str, Dict[str, Any]]] = {
+        "atomic": ("atomic_channel", {}),
+        "secure": ("secure_atomic_channel", {}),
+        "optimistic": ("optimistic_atomic_channel", {"suspect_timeout": 2.0}),
+        "stability": ("stabilized_consistent_channel", {}),
+    }
+
+    def __init__(
+        self,
+        kind: str,
+        messages_per_party: int = 2,
+        channel_overrides: Optional[Dict[int, Callable[[Party], Any]]] = None,
+    ):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown channel kind {kind!r}")
+        self.name = kind
+        self.kind = kind
+        self.messages_per_party = messages_per_party
+        self.channel_overrides = channel_overrides or {}
+
+    def _make_channel(self, party: Party) -> Any:
+        override = self.channel_overrides.get(party.id)
+        if override is not None:
+            return override(party)
+        factory_name, kwargs = self.KINDS[self.kind]
+        return getattr(party, factory_name)(self.name, **kwargs)
+
+    def setup(self, runtime, group, crashed, compromised) -> CaseSetup:
+        channels = {p.id: self._make_channel(p) for p in make_parties(runtime)}
+        for i, ch in channels.items():
+            if i in crashed:
+                continue  # crashed parties never join the workload
+            for k in range(self.messages_per_party):
+                ch.send(encode(("payload", i, k)))
+            ch.close()
+        honest = set(channels) - compromised
+        live = honest - crashed
+        suite = InvariantSuite()
+        if self.kind == "stability":
+            # The consistent channel orders per sender only; the checkable
+            # properties are the stability mechanism's.
+            suite.add(StabilityInvariant(channels, honest))
+        else:
+            suite.add(TotalOrderInvariant(channels, honest, live=live))
+        if self.kind == "secure":
+            suite.add(SecureCausalityInvariant(channels, honest))
+        return CaseSetup(suite=suite, futures=[channels[i].closed for i in sorted(live)])
+
+
+class AgreementScenario(Scenario):
+    """Fuzz binary or multi-valued agreement.
+
+    All non-crashed parties propose seed-derived values; the run is live
+    when every never-faulty party decides.
+    """
+
+    def __init__(self, kind: str):
+        if kind not in ("binary", "mvba"):
+            raise ValueError(f"unknown agreement kind {kind!r}")
+        self.name = kind
+        self.kind = kind
+
+    def setup(self, runtime, group, crashed, compromised) -> CaseSetup:
+        parties = make_parties(runtime)
+        r = runtime.sim.derive("workload", self.kind)
+        honest = set(range(group.n)) - compromised
+        live = honest - crashed
+        if self.kind == "binary":
+            instances = {p.id: p.binary_agreement(self.name) for p in parties}
+            proposals = {i: r.randrange(2) for i in instances}
+            # CKS validity: a unanimous honest proposal must win.
+            honest_props = {proposals[i] for i in live}
+            valid = list(honest_props) if len(honest_props) == 1 else None
+        else:
+            instances = {p.id: p.array_agreement(self.name) for p in parties}
+            proposals = {i: encode(("proposal", i)) for i in instances}
+            # External validity is trivial here, so the decided value can
+            # be anything a (possibly mutated) proposer put forward; only a
+            # fully honest run pins it to the proposal set.
+            valid = list(proposals.values()) if not compromised else None
+        for i, inst in instances.items():
+            if i not in crashed:
+                inst.propose(proposals[i])
+        suite = InvariantSuite().add(
+            AgreementInvariant(instances, live, valid_values=valid)
+        )
+        return CaseSetup(
+            suite=suite, futures=[instances[i].decided for i in sorted(live)]
+        )
+
+
+class LedgerScenario(Scenario):
+    """Fuzz the replicated payment ledger over atomic broadcast."""
+
+    name = "ledger"
+
+    def __init__(self, opens_per_party: int = 1, transfers_per_party: int = 1):
+        self.opens_per_party = opens_per_party
+        self.transfers_per_party = transfers_per_party
+
+    def setup(self, runtime, group, crashed, compromised) -> CaseSetup:
+        from repro.app.ledger import ReplicatedLedger
+
+        keys = _ledger_keys(group.n)
+        replicas = {p.id: ReplicatedLedger(p, "ledger") for p in make_parties(runtime)}
+        for i, rep in replicas.items():
+            if i in crashed:
+                continue
+            account = encode(("acct", i))
+            rep.open(account, keys[i].public, 100 * (i + 1))
+            for k in range(self.transfers_per_party):
+                dst = encode(("acct", (i + 1) % group.n))
+                rep.transfer(account, dst, 10, k, keys[i])
+            rep.close()
+        honest = set(replicas) - compromised
+        live = honest - crashed
+        suite = (
+            InvariantSuite()
+            .add(LedgerInvariant(replicas, honest))
+            .add(
+                TotalOrderInvariant(
+                    {i: rep.channel for i, rep in replicas.items()}, honest, live=live
+                )
+            )
+        )
+        return CaseSetup(
+            suite=suite, futures=[replicas[i].channel.closed for i in sorted(live)]
+        )
+
+
+_LEDGER_KEYS: Dict[int, Any] = {}
+
+
+def _ledger_keys(n: int):
+    """Small cached client RSA keys (keygen is the slow part)."""
+    import random as _random
+
+    from repro.crypto.rsa import generate_keypair
+
+    for i in range(n):
+        if i not in _LEDGER_KEYS:
+            _LEDGER_KEYS[i] = generate_keypair(256, _random.Random(1000 + i))
+    return _LEDGER_KEYS
+
+
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "atomic": lambda: ChannelScenario("atomic"),
+    "secure": lambda: ChannelScenario("secure"),
+    "optimistic": lambda: ChannelScenario("optimistic"),
+    "stability": lambda: ChannelScenario("stability"),
+    "binary": lambda: AgreementScenario("binary"),
+    "mvba": lambda: AgreementScenario("mvba"),
+    "ledger": lambda: LedgerScenario(),
+}
+
+
+def make_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+
+
+# --- running one case ---------------------------------------------------------------
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one fuzz case, carrying everything needed to replay it."""
+
+    ok: bool
+    scenario: str
+    n: int
+    t: int
+    case_seed: int
+    plan_size: int
+    kept: List[int]
+    directives: List[Directive] = field(default_factory=list)
+    error: Optional[str] = None
+    checks_run: int = 0
+    shrink_runs: int = 0
+
+    @property
+    def minimized(self) -> bool:
+        return len(self.kept) < self.plan_size
+
+    def replay_command(self) -> str:
+        cmd = (
+            f"PYTHONPATH=src python -m repro.testing.schedule"
+            f" --scenario {self.scenario} --n {self.n} --t {self.t}"
+            f" --case {hex(self.case_seed)}"
+        )
+        if self.minimized:
+            cmd += f" --keep {','.join(map(str, self.kept)) or 'none'}"
+        return cmd
+
+    def repro_line(self) -> str:
+        faults = "; ".join(str(d) for d in self.directives) or "no faults"
+        return (
+            f"FUZZ-REPRO: scenario={self.scenario} n={self.n} t={self.t}"
+            f" case={hex(self.case_seed)} faults=[{faults}]"
+            f" error={self.error!r}\n  replay: {self.replay_command()}"
+        )
+
+
+def parse_keep(text: Optional[str]) -> Optional[List[int]]:
+    """Parse a ``--keep`` list (``"0,3,5"``; ``"none"`` = empty plan)."""
+    if text is None:
+        return None
+    text = text.strip()
+    if text in ("", "none"):
+        return []
+    return [int(part) for part in text.split(",")]
+
+
+_GROUP_CACHE: Dict[Tuple[int, int], GroupConfig] = {}
+
+
+def default_group(n: int, t: int) -> GroupConfig:
+    """Deal (or reuse) the toy-parameter group the fuzzer runs on."""
+    key = (n, t)
+    if key not in _GROUP_CACHE:
+        _GROUP_CACHE[key] = fast_group(
+            n, t, SecurityParams.toy(), sig_mode="multi", seed=1
+        )
+    return _GROUP_CACHE[key]
+
+
+def run_case(
+    scenario: Scenario,
+    n: int,
+    t: int,
+    case_seed: int,
+    keep: Optional[Sequence[int]] = None,
+    group: Optional[GroupConfig] = None,
+    time_limit: float = 300.0,
+) -> CaseResult:
+    """Execute one fuzz case; deterministic in all arguments.
+
+    ``keep`` restricts the generated fault plan to the given directive
+    indices (``None`` keeps everything) — the shrinker's replay knob.
+    """
+    group = group or default_group(n, t)
+    plan = plan_from_seed(case_seed, n, t)
+    kept = list(range(len(plan))) if keep is None else list(keep)
+    bad = [i for i in kept if not 0 <= i < len(plan)]
+    if bad:
+        raise ValueError(
+            f"keep indices {bad} out of range: case {hex(case_seed)} plans "
+            f"{len(plan)} fault directives"
+        )
+    directives = [plan[i] for i in kept]
+    faults, compromised = build_fault_plan(directives)
+    crashed = {c.victim for c in faults.crashes}
+    runtime = SimRuntime(
+        group, latency=lan_latency(), seed=("fuzz", case_seed), faults=faults
+    )
+    if compromised:
+        mutator = ByzantineMutator(
+            group, compromised, rng_mod.derive(case_seed, "mutator")
+        )
+        runtime.wire_taps.append(mutator)
+    setup = scenario.setup(runtime, group, crashed=crashed, compromised=compromised)
+    setup.suite.attach(runtime)
+    result = CaseResult(
+        ok=True,
+        scenario=scenario.name,
+        n=n,
+        t=t,
+        case_seed=case_seed,
+        plan_size=len(plan),
+        kept=kept,
+        directives=directives,
+        error=None,
+    )
+    try:
+        for fut in setup.futures:
+            runtime.run_until(fut, limit=time_limit)
+        setup.suite.finalize()
+    except InvariantViolation as exc:
+        result.ok = False
+        result.error = f"invariant violated: {exc}"
+    except SimError as exc:
+        result.ok = False
+        result.error = f"liveness: {exc}"
+    result.checks_run = setup.suite.checks_run
+    return result
+
+
+# --- the fuzz driver -----------------------------------------------------------------
+
+
+def case_seed_for(root_seed: int, scenario_name: str, n: int, t: int, i: int) -> int:
+    """The i-th case seed of a fuzz campaign (stable across versions)."""
+    return rng_mod.derive_int(root_seed, "case", scenario_name, n, t, i)
+
+
+def fuzz(
+    scenario: Scenario,
+    n: int,
+    t: int,
+    root_seed: int,
+    iterations: int,
+    group: Optional[GroupConfig] = None,
+    shrink_failures: bool = True,
+    fail_fast: bool = True,
+    time_limit: float = 300.0,
+) -> List[CaseResult]:
+    """Run ``iterations`` seeded cases; returns the (shrunk) failures."""
+    from repro.testing.shrink import shrink_case
+
+    group = group or default_group(n, t)
+    failures: List[CaseResult] = []
+    for i in range(iterations):
+        case_seed = case_seed_for(root_seed, scenario.name, n, t, i)
+        result = run_case(
+            scenario, n, t, case_seed, group=group, time_limit=time_limit
+        )
+        if result.ok:
+            continue
+        if shrink_failures:
+            result = shrink_case(
+                scenario, n, t, case_seed, group=group, time_limit=time_limit,
+                first_failure=result,
+            )
+        failures.append(result)
+        if fail_fast:
+            break
+    return failures
+
+
+def report_failures(failures: Sequence[CaseResult]) -> str:
+    """Human-readable failure report; also honors ``FUZZ_REPRO_FILE``.
+
+    When the environment variable ``FUZZ_REPRO_FILE`` names a file, every
+    repro line is appended there as well — CI uploads that file as the
+    artifact of a failing fuzz job.
+    """
+    lines = [f.repro_line() for f in failures]
+    text = "\n".join(lines)
+    path = os.environ.get("FUZZ_REPRO_FILE")
+    if path and lines:
+        with open(path, "a") as f:
+            f.write(text + "\n")
+    return text
+
+
+# --- CLI: replay and ad-hoc campaigns ------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.schedule",
+        description="Seeded schedule/Byzantine fuzzing for the SINTRA stack.",
+    )
+    parser.add_argument(
+        "--scenario", required=True, choices=sorted(SCENARIOS),
+        help="protocol workload to drive",
+    )
+    parser.add_argument("--n", type=int, default=4, help="group size")
+    parser.add_argument("--t", type=int, default=1, help="fault threshold")
+    parser.add_argument(
+        "--case", default=None,
+        help="replay exactly this case seed (int, hex, or arbitrary string)",
+    )
+    parser.add_argument(
+        "--keep", default=None,
+        help="comma-separated fault-directive indices to keep ('none' = all off)",
+    )
+    parser.add_argument(
+        "--seed", default="0", help="campaign root seed (with --iterations)"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=10, help="cases per campaign"
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true", help="report failures unshrunk"
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=300.0,
+        help="simulated-seconds budget per case",
+    )
+    args = parser.parse_args(argv)
+    if not args.n > 3 * args.t:
+        parser.error(f"SINTRA requires n > 3t (got n={args.n}, t={args.t})")
+
+    scenario = make_scenario(args.scenario)
+    if args.case is not None:
+        case_seed = rng_mod.parse_seed(args.case)
+        try:
+            result = run_case(
+                scenario, args.n, args.t, case_seed,
+                keep=parse_keep(args.keep), time_limit=args.time_limit,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        if result.ok:
+            print(
+                f"OK: scenario={result.scenario} n={result.n} t={result.t}"
+                f" case={hex(case_seed)} ({result.checks_run} invariant sweeps,"
+                f" faults=[{'; '.join(map(str, result.directives)) or 'none'}])"
+            )
+            return 0
+        print(report_failures([result]))
+        return 1
+
+    root_seed = rng_mod.parse_seed(args.seed)
+    failures = fuzz(
+        scenario, args.n, args.t, root_seed, args.iterations,
+        shrink_failures=not args.no_shrink, time_limit=args.time_limit,
+    )
+    if not failures:
+        print(
+            f"OK: {args.iterations} cases of scenario={args.scenario}"
+            f" n={args.n} t={args.t} seed={hex(root_seed)}"
+        )
+        return 0
+    print(report_failures(failures))
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

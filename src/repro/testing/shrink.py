@@ -1,0 +1,96 @@
+"""Greedy minimization of failing fuzz cases.
+
+A failure found by :func:`repro.testing.schedule.fuzz` is identified by
+``(scenario, n, t, case_seed)`` plus the subset of fault-plan directives
+in force.  Because the fault plan draws from its own RNG stream
+(``SimRuntime.fault_rng``) and the mutation stream is keyed only by the
+case seed, *removing* directives leaves everything else about the run
+deterministic — so a directive subset either still fails or it doesn't,
+repeatably.
+
+The shrinker exploits this with delta-debugging-style greedy removal:
+first it tries chopping whole halves of the remaining directive list,
+then single directives, restarting after every successful removal, under
+a total re-run budget.  The result is a (locally) 1-minimal fault plan:
+removing any single remaining directive makes the failure disappear.
+The minimized case replays from the shell via the ``--keep`` list in its
+``FUZZ-REPRO`` line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.testing.schedule import CaseResult, Scenario, run_case
+
+
+def shrink_case(
+    scenario: Scenario,
+    n: int,
+    t: int,
+    case_seed: int,
+    group=None,
+    time_limit: float = 300.0,
+    max_runs: int = 60,
+    first_failure: Optional[CaseResult] = None,
+) -> CaseResult:
+    """Minimize the fault plan of a known-failing case.
+
+    Returns the failing :class:`CaseResult` with the smallest directive
+    subset found (the original failure if nothing can be removed).
+    ``first_failure``, when the caller already ran the full case, avoids
+    re-running it.
+    """
+    best = first_failure
+    if best is None or best.ok:
+        best = run_case(
+            scenario, n, t, case_seed, group=group, time_limit=time_limit
+        )
+        if best.ok:
+            return best  # not actually failing; nothing to shrink
+    kept: List[int] = list(best.kept)
+    runs = 0
+
+    def attempt(subset: Sequence[int]) -> Optional[CaseResult]:
+        nonlocal runs
+        runs += 1
+        result = run_case(
+            scenario, n, t, case_seed,
+            keep=list(subset), group=group, time_limit=time_limit,
+        )
+        return result if not result.ok else None
+
+    # Phase 1: binary chop — try dropping large chunks first.
+    chunk = max(1, len(kept) // 2)
+    while chunk >= 1 and runs < max_runs:
+        removed_any = False
+        start = 0
+        while start < len(kept) and runs < max_runs:
+            trial = kept[:start] + kept[start + chunk:]
+            failing = attempt(trial)
+            if failing is not None:
+                kept = trial
+                best = failing
+                removed_any = True  # same start now points at fresh indices
+            else:
+                start += chunk
+        if not removed_any or chunk == 1:
+            chunk //= 2
+
+    # Phase 2: 1-minimality sweep (mostly a no-op after phase 1).
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for i in range(len(kept)):
+            trial = kept[:i] + kept[i + 1:]
+            failing = attempt(trial)
+            if failing is not None:
+                kept = trial
+                best = failing
+                improved = True
+                break
+            if runs >= max_runs:
+                break
+
+    best.shrink_runs = runs
+    return best

@@ -1,14 +1,46 @@
 """Shared fixtures: dealt groups are expensive, so they are cached per
-configuration and session-scoped."""
+configuration and session-scoped.
+
+Also wires the fuzz harness (``tests/fuzz``) into pytest: ``--fuzz-seed``
+sets the campaign root seed (any string; hashed if not an integer) and
+``--fuzz-iterations`` the number of cases per scenario/configuration.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.common.rng import parse_seed
 from repro.crypto.dealer import fast_group
 from repro.crypto.params import SecurityParams
 
 _GROUP_CACHE = {}
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("fuzz", "seeded schedule/Byzantine fuzzing")
+    group.addoption(
+        "--fuzz-seed",
+        default="0xS1NTRA",
+        help="root seed for fuzz campaigns (int, hex, or arbitrary string)",
+    )
+    group.addoption(
+        "--fuzz-iterations",
+        type=int,
+        default=5,
+        help="fuzz cases per scenario and group configuration",
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_seed(request):
+    """The campaign root seed as an integer."""
+    return parse_seed(request.config.getoption("--fuzz-seed"))
+
+
+@pytest.fixture(scope="session")
+def fuzz_iterations(request):
+    return request.config.getoption("--fuzz-iterations")
 
 
 def cached_group(n=4, t=1, sig_mode="multi", seed=1):
