@@ -185,19 +185,28 @@ class TcpNode:
 
     async def _writer(self, peer: int) -> None:
         host, port = self.endpoints[peer]
-        writer: Optional[asyncio.StreamWriter] = None
-        while writer is None:
+        pending: Optional[bytes] = None  # frame being written when the link died
+        while True:
+            writer: Optional[asyncio.StreamWriter] = None
+            while writer is None:
+                try:
+                    _, writer = await asyncio.open_connection(host, port)
+                except OSError:
+                    await asyncio.sleep(self.connect_retry_s)
             try:
-                _, writer = await asyncio.open_connection(host, port)
-            except OSError:
+                while True:
+                    frame = pending if pending is not None else await self._out[peer].get()
+                    pending = frame
+                    writer.write(_LEN.pack(len(frame)) + frame)
+                    await writer.drain()
+                    pending = None
+            except (ConnectionError, OSError):
+                # The connection died after establishment: re-enter the
+                # connect loop; ``pending`` is retransmitted first so the
+                # frame being written is not lost.
                 await asyncio.sleep(self.connect_retry_s)
-        try:
-            while True:
-                frame = await self._out[peer].get()
-                writer.write(_LEN.pack(len(frame)) + frame)
-                await writer.drain()
-        finally:
-            writer.close()
+            finally:
+                writer.close()
 
     # -- receiving -----------------------------------------------------------------
 
