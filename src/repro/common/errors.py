@@ -44,3 +44,12 @@ class ChannelCongested(ProtocolError):
 
 class TransportError(ReproError):
     """A network-transport-level failure."""
+
+
+class LinkOverflow(TransportError):
+    """A bounded point-to-point link's send backlog is full.
+
+    Raised only under the strict ``overflow="raise"`` policy; the default
+    degradation policy drops the oldest backlogged frame and counts it
+    instead, so one unresponsive peer cannot exhaust memory while the
+    remaining ``n - t`` parties make progress."""

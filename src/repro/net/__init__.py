@@ -25,8 +25,10 @@ from repro.net.faults import (
     HealingPartitionAdversary,
     NetworkAdversary,
     SlowLinkAdversary,
+    SocketChaosPlan,
     TargetedDelayAdversary,
 )
+from repro.net.failure_detector import ALIVE, DOWN, SUSPECT, FailureDetector
 from repro.net.runtime import SimContext, SimRuntime
 
 __all__ = [
@@ -53,6 +55,11 @@ __all__ = [
     "SlowLinkAdversary",
     "TargetedDelayAdversary",
     "HealingPartitionAdversary",
+    "SocketChaosPlan",
+    "FailureDetector",
+    "ALIVE",
+    "SUSPECT",
+    "DOWN",
     "SimContext",
     "SimRuntime",
 ]

@@ -1,0 +1,102 @@
+"""Per-peer liveness estimation for the real-network runtime.
+
+SINTRA's asynchronous protocols never *need* a failure detector for
+safety — that is the point of the randomized protocol stack — but an
+operator of a real deployment does: the runtime must report which peers
+are reachable, degrade bounded resources for unresponsive ones, and give
+reconnection supervision a signal to expose.  This module is the sans-I/O
+core: a clock-driven state estimator fed by *progress events* (a verified
+heartbeat, a delivered frame, an authenticated acknowledgment) that
+classifies every peer as ``alive``, ``suspect`` or ``down``.
+
+The estimator is deliberately crude (fixed timeouts, no adaptive RTT
+estimation a la Chen/Toueg): under asynchrony any detector is unreliable,
+and nothing in the protocol stack trusts it.  It only drives reporting
+and degradation policy in :mod:`repro.net.tcp`.
+
+State machine (ages are ``now - last_progress``)::
+
+    ALIVE --(age >= suspect_after)--> SUSPECT --(age >= down_after)--> DOWN
+      ^                                  |                              |
+      +-------- progress event ----------+------------------------------+
+
+Progress events always restore ``alive``; the transitions are therefore a
+pure function of the last-progress timestamp, which keeps the detector
+trivially checkable in unit tests with a synthetic clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import ConfigError
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DOWN = "down"
+
+
+class FailureDetector:
+    """Progress-driven ``alive / suspect / down`` classification.
+
+    ``suspect_after`` and ``down_after`` are seconds of silence; the clock
+    is whatever the caller passes as ``now`` (the asyncio loop clock under
+    :class:`~repro.net.tcp.TcpNode`, a synthetic float in tests).
+    """
+
+    def __init__(
+        self,
+        peers: Iterable[int],
+        suspect_after: float = 2.0,
+        down_after: float = 6.0,
+        now: float = 0.0,
+    ):
+        if suspect_after <= 0 or down_after <= suspect_after:
+            raise ConfigError("need 0 < suspect_after < down_after")
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self._last: Dict[int, float] = {peer: now for peer in peers}
+
+    @property
+    def peers(self) -> List[int]:
+        return sorted(self._last)
+
+    def touch(self, peer: int, now: float) -> None:
+        """Record a progress event from ``peer`` (monotone: never rewinds)."""
+        if peer not in self._last:
+            raise ConfigError(f"unknown peer {peer}")
+        if now > self._last[peer]:
+            self._last[peer] = now
+
+    def last_progress(self, peer: int) -> float:
+        return self._last[peer]
+
+    def state(self, peer: int, now: float) -> str:
+        age = now - self._last[peer]
+        if age >= self.down_after:
+            return DOWN
+        if age >= self.suspect_after:
+            return SUSPECT
+        return ALIVE
+
+    def states(self, now: float) -> Dict[int, str]:
+        return {peer: self.state(peer, now) for peer in self._last}
+
+    def alive(self, now: float) -> List[int]:
+        """Peers currently classified ``alive``, sorted."""
+        return [p for p in self.peers if self.state(p, now) == ALIVE]
+
+    def next_transition(self, now: float) -> Optional[float]:
+        """Earliest future time at which some peer's state can worsen.
+
+        ``None`` when every peer is already ``down``; used by pollers to
+        sleep exactly until the next possible state change.
+        """
+        deadlines = []
+        for peer, last in self._last.items():
+            age = now - last
+            if age < self.suspect_after:
+                deadlines.append(last + self.suspect_after)
+            elif age < self.down_after:
+                deadlines.append(last + self.down_after)
+        return min(deadlines) if deadlines else None

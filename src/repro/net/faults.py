@@ -123,6 +123,26 @@ class CompositeAdversary(NetworkAdversary):
 
 
 @dataclass
+class SocketChaosPlan:
+    """Socket-level chaos for the *real* asyncio TCP runtime.
+
+    Consumed by :class:`repro.testing.netchaos.ChaosProxy`, which sits
+    between real ``TcpNode`` sockets and, per forwarded chunk, draws from
+    a seeded stream to inject connection resets, stalls, truncated writes
+    and byte corruption — the transport-level faults the simulator's
+    adversaries cannot express.  Unlike :class:`NetworkAdversary` these
+    *do* violate TCP's delivery guarantees; the resilient transport
+    (supervised reconnect + sliding-window sessions) must mask them.
+    """
+
+    reset_prob: float = 0.0  # abort both directions of the connection
+    stall_prob: float = 0.0  # pause this direction for ``stall_s``
+    stall_s: float = 0.02
+    corrupt_prob: float = 0.0  # flip one bit of the chunk
+    truncate_prob: float = 0.0  # forward a prefix, then abort
+
+
+@dataclass
 class CrashFault:
     """Party ``victim`` stops sending anything at ``crash_at`` seconds.
 

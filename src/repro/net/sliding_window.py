@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.encoding import decode, encode
-from repro.common.errors import EncodingError, ProtocolError
+from repro.common.errors import EncodingError, LinkOverflow, ProtocolError
 from repro.crypto.hmac_auth import LinkAuthenticator
 
 KIND_DATA = "dat"
@@ -68,26 +68,47 @@ class SlidingWindowSender:
         session: bytes,
         window: int = DEFAULT_WINDOW,
         rto: float = DEFAULT_RTO,
+        max_backlog: Optional[int] = None,
+        overflow: str = "drop-oldest",
     ):
         if window < 1:
             raise ProtocolError("window must be at least 1")
+        if overflow not in ("drop-oldest", "raise"):
+            raise ProtocolError("overflow policy is 'drop-oldest' or 'raise'")
         self._auth = auth
         self.session = session
         self.window = window
         self.rto = rto
+        self.max_backlog = max_backlog
+        self.overflow = overflow
         self._next_seq = 0
         self._base = 0  # lowest unacknowledged sequence number
         self._backlog: List[bytes] = []
         self._inflight: Dict[int, Tuple[bytes, float]] = {}  # seq -> (payload, last tx)
         self.retransmissions = 0
         self.forged_acks = 0
+        self.overflow_dropped = 0
 
     # -- outbound -----------------------------------------------------------------
 
     def send(self, payload: bytes, now: float) -> List[bytes]:
-        """Queue ``payload``; returns datagrams to transmit now."""
+        """Queue ``payload``; returns datagrams to transmit now.
+
+        A bounded sender (``max_backlog``) degrades under a peer that never
+        acknowledges: ``drop-oldest`` discards the oldest backlog entry
+        (counted in :attr:`overflow_dropped`) so one dead peer cannot
+        exhaust memory, while ``raise`` surfaces :class:`LinkOverflow` to
+        the caller.
+        """
         if not isinstance(payload, (bytes, bytearray)):
             raise ProtocolError("payloads are byte strings")
+        if self.max_backlog is not None and len(self._backlog) >= self.max_backlog:
+            if self.overflow == "raise":
+                raise LinkOverflow(
+                    f"link backlog full ({self.max_backlog} frames unacknowledged)"
+                )
+            self._backlog.pop(0)
+            self.overflow_dropped += 1
         self._backlog.append(bytes(payload))
         return self._fill_window(now)
 
@@ -114,6 +135,46 @@ class SlidingWindowSender:
                 self.retransmissions += 1
                 out.append(make_data_datagram(self._auth, self.session, seq, payload))
         return out
+
+    # -- session resumption ----------------------------------------------------------
+
+    def resume(self, now: float) -> List[bytes]:
+        """Retransmit everything in flight immediately (same session).
+
+        Called after the carrier reconnects: frames unacknowledged at
+        disconnect are re-sent without waiting for the RTO, and the
+        receiver's intact per-session state suppresses any duplicates.
+        """
+        out: List[bytes] = []
+        for seq, (payload, _) in sorted(self._inflight.items()):
+            self._inflight[seq] = (payload, now)
+            self.retransmissions += 1
+            out.append(make_data_datagram(self._auth, self.session, seq, payload))
+        out.extend(self._fill_window(now))
+        return out
+
+    def rebind(self, session: bytes, now: float) -> List[bytes]:
+        """Renumber all unacknowledged traffic under a fresh ``session``.
+
+        Called when the peer *instance* restarted (it announced a session
+        this side has never seen, so its receive state is gone): every
+        in-flight and backlogged payload is re-queued in order and the
+        window restarts at sequence 0.  Delivery across a rebind is
+        at-least-once — a payload whose ACK was lost may be delivered
+        again — while within a session it is exactly-once FIFO.
+        """
+        pending = [payload for _, (payload, _) in sorted(self._inflight.items())]
+        self.session = session
+        self._next_seq = 0
+        self._base = 0
+        self._inflight = {}
+        self._backlog = pending + self._backlog
+        return self._fill_window(now)
+
+    @property
+    def backlog_depth(self) -> int:
+        """Frames queued or unacknowledged (the link's memory footprint)."""
+        return len(self._backlog) + len(self._inflight)
 
     # -- inbound ACKs ----------------------------------------------------------------
 

@@ -1,15 +1,49 @@
-"""Real-network runtime: the SINTRA stack over asyncio TCP.
+"""Resilient real-network runtime: the SINTRA stack over asyncio TCP.
 
 The paper's implementation runs its reliable point-to-point links over TCP
-with HMAC authentication (Sec. 3); this module is the equivalent runtime
-for this reproduction.  The same sans-I/O protocol classes used under the
-simulator run unchanged: only the :class:`~repro.core.protocol.Context`
-implementation differs.
+with HMAC authentication (Sec. 3) and explicitly flags plain TCP as a
+liability — forged TCP acknowledgments can make a sender discard data the
+receiver never got — planning to replace it with SINTRA's own
+sliding-window links with *authenticated* acknowledgments.  This module
+realizes that plan for the real network: the sans-I/O
+:mod:`repro.net.sliding_window` endpoints run **over** TCP framing, and a
+connection supervisor per directed peer link keeps the carrier alive.
 
-A party is identified by a ``host:port`` endpoint, as in the paper's
-configuration files.  Every party listens on its endpoint and opens one
-outgoing connection to each peer (retrying until the peer is up); frames
-are length-prefixed sealed messages (HMAC per pair of servers).
+Layering, top to bottom:
+
+* protocol stack — unchanged sans-I/O classes, driven via :class:`TcpContext`;
+* sealed frames — pairwise-HMAC wire messages (:mod:`repro.net.links`);
+* sliding-window session — authenticated data + cumulative authenticated
+  ACKs, bounded in-flight window, RTO retransmission.  Frames
+  unacknowledged when a TCP connection dies are retransmitted after
+  reconnect; duplicates from replays are suppressed by the receiver's
+  per-session state (exactly-once FIFO within a session, at-least-once
+  across a peer *restart*);
+* connection supervisor — one outgoing TCP connection per directed link,
+  re-dialled forever with capped exponential backoff and deterministic
+  jitter (seeded via :mod:`repro.common.rng`);
+* failure detector — heartbeats and send/ack progress feed a per-peer
+  ``alive / suspect / down`` estimate (:mod:`repro.net.failure_detector`).
+
+Every frame on the wire is a length-prefixed canonical tuple:
+
+* ``("hlo", sender, session, tag)`` — first frame on every connection;
+  binds the connection to ``sender`` and announces the data session;
+* ``("dat", session, seq, payload, tag)`` / ``("ack", session, cum, tag)``
+  — the sliding-window datagrams (see :mod:`repro.net.sliding_window`);
+* ``("hb", sender, counter, tag)`` — monotone authenticated heartbeat.
+
+Degradation policy: all per-peer queues are bounded (window backlog and
+outbox, drop-oldest with counters), so one dead peer cannot exhaust
+memory while the other ``n - t`` make progress; dropped data frames are
+recovered by RTO retransmission if the peer returns.  Per-peer counters
+(reconnects, retransmissions, backlog depth, auth failures, …) are
+exposed via :meth:`TcpNode.link_stats` / :meth:`TcpNode.stats`.
+
+Sessions are unique per node *instance* (derived from ``seed`` when one
+is given — restart tests must use a distinct seed — and from OS entropy
+otherwise), so a restarted peer is detected by its fresh session and both
+directions renumber without losing queued frames.
 
 Usage (see ``examples/real_network.py``)::
 
@@ -23,27 +57,44 @@ Usage (see ``examples/real_network.py``)::
 from __future__ import annotations
 
 import asyncio
+import collections
 import logging
+import socket
 import struct
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
-from repro.common.errors import ReproError, TransportError
+from repro.common import rng as rng_mod
+from repro.common.encoding import decode, encode
+from repro.common.errors import EncodingError, ReproError, TransportError
 from repro.core.protocol import Context, Router
 from repro.crypto.dealer import GroupConfig
 from repro.net import links
+from repro.net.failure_detector import FailureDetector
 from repro.net.message import pack_body, unpack_body
+from repro.net.sliding_window import (
+    KIND_ACK,
+    KIND_DATA,
+    SlidingWindowReceiver,
+    SlidingWindowSender,
+)
 
 logger = logging.getLogger("repro.net.tcp")
 
 _LEN = struct.Struct(">I")
 MAX_FRAME = 16 * 1024 * 1024
 
+KIND_HELLO = "hlo"
+KIND_HEARTBEAT = "hb"
+
+SESSION_BYTES = 16
+
 
 class AsyncFuture:
     """asyncio-backed future with the SimFuture interface (awaitable)."""
 
     def __init__(self) -> None:
-        self._fut: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._fut: asyncio.Future = asyncio.get_running_loop().create_future()
 
     @property
     def done(self) -> bool:
@@ -83,6 +134,112 @@ class AsyncQueue:
         return self._q.qsize()
 
 
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempts 0, 1, 2, … grows as ``base *
+    multiplier**attempt`` up to ``cap``, then each delay is spread by a
+    symmetric jitter fraction drawn from ``rng`` — seeded via
+    :func:`repro.common.rng.derive`, so a test's reconnect schedule is
+    reproducible from one integer while real deployments decorrelate
+    their reconnect storms.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        cap: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.25,
+        rng=None,
+    ):
+        if base <= 0 or cap < base or multiplier < 1 or not 0 <= jitter < 1:
+            raise TransportError("invalid backoff parameters")
+        self.base = base
+        self.cap = cap
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self._rng = rng if rng is not None else rng_mod.fresh()
+
+    def delay(self, attempt: int) -> float:
+        raw = min(self.cap, self.base * self.multiplier ** max(0, attempt))
+        if not self.jitter:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))
+
+
+@dataclass
+class LinkStats:
+    """Per-peer counters exposed by :meth:`TcpNode.link_stats`."""
+
+    reconnects: int = 0  # successful re-establishments (first connect excluded)
+    retransmissions: int = 0  # sliding-window data frames re-sent
+    backlog: int = 0  # frames queued or unacknowledged right now
+    overflow_dropped: int = 0  # frames degraded-dropped by bounded queues
+    auth_failures: int = 0  # forged/garbled window datagrams on this link
+    duplicates: int = 0  # replayed data frames suppressed by the receiver
+    heartbeats: int = 0  # authenticated heartbeats accepted
+    state: str = "alive"  # failure-detector classification
+
+
+class _Outbox:
+    """Bounded FIFO of wire frames for one peer (drop-oldest on overflow).
+
+    Dropping is safe at this layer: ACKs and heartbeats are regenerated,
+    and data datagrams are re-sent by the window's RTO retransmission.
+    """
+
+    def __init__(self, limit: int):
+        self._items: Deque[bytes] = collections.deque()
+        self._limit = limit
+        self._ready = asyncio.Event()
+        self.dropped = 0
+
+    def put(self, item: bytes) -> None:
+        if len(self._items) >= self._limit:
+            self._items.popleft()
+            self.dropped += 1
+        self._items.append(item)
+        self._ready.set()
+
+    async def get(self) -> bytes:
+        while not self._items:
+            self._ready.clear()
+            await self._ready.wait()
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _PeerLink:
+    """Everything one :class:`TcpNode` keeps per directed peer link."""
+
+    def __init__(self, node: "TcpNode", peer: int):
+        self.peer = peer
+        self.auth = node.ctx.crypto.link_auth(peer)
+        self.epoch = 0
+        self.sender = SlidingWindowSender(
+            self.auth,
+            node._new_session(peer, 0),
+            window=node.window,
+            rto=node.rto,
+            max_backlog=node.max_backlog,
+        )
+        self.outbox = _Outbox(node.outbox_limit)
+        self.task: Optional[asyncio.Task] = None
+        self.connected = False
+        self.connects = 0
+        # inbound direction: session announced by the peer's hello
+        self.rx_session: Optional[bytes] = None
+        self.receiver: Optional[SlidingWindowReceiver] = None
+        self.hb_next = 0  # next heartbeat counter to send
+        self.hb_seen = -1  # highest heartbeat counter accepted
+        self.heartbeats_seen = 0
+        self.poll_handle: Optional[asyncio.TimerHandle] = None
+        self.poll_when: Optional[float] = None
+
+
 class TcpContext(Context):
     """Protocol context bound to a :class:`TcpNode`."""
 
@@ -100,21 +257,24 @@ class TcpContext(Context):
         self._node.send_frame(dst, frame)
 
     def effect(self, fn: Callable, *args: Any) -> None:
-        asyncio.get_event_loop().call_soon(fn, *args)
+        asyncio.get_running_loop().call_soon(fn, *args)
 
     def defer(self, fn: Callable[[], None]) -> None:
-        asyncio.get_event_loop().call_soon(fn)
+        asyncio.get_running_loop().call_soon(fn)
 
     def set_timer(self, delay: float, fn: Callable[[], None]):
         from repro.core.protocol import Timer
 
         timer = Timer()
+        node = self._node
 
         def fire() -> None:
+            node._timers.discard(handle)
             if timer.active:
                 fn()
 
-        asyncio.get_event_loop().call_later(delay, fire)
+        handle = asyncio.get_running_loop().call_later(delay, fire)
+        node._timers.add(handle)
         return timer
 
     def new_queue(self) -> AsyncQueue:
@@ -124,52 +284,115 @@ class TcpContext(Context):
         return AsyncFuture()
 
     def now(self) -> float:
-        return asyncio.get_event_loop().time()
+        return asyncio.get_running_loop().time()
 
 
 class TcpNode:
-    """One SINTRA server on a real TCP network."""
+    """One SINTRA server on a real TCP network, with supervised links.
+
+    ``endpoints`` is the full group's advertised address list (what this
+    node *dials*); ``listen_endpoint`` overrides where this node itself
+    binds, for deployments (or chaos proxies) where the advertised address
+    differs from the local one.  ``connect_retry_s`` is the backoff base
+    delay, kept under its historical name.
+    """
 
     def __init__(
         self,
         group: GroupConfig,
         index: int,
         endpoints: List[Tuple[str, int]],
-        connect_retry_s: float = 0.1,
+        connect_retry_s: float = 0.05,
+        *,
+        seed: Optional[object] = None,
+        listen_endpoint: Optional[Tuple[str, int]] = None,
+        window: int = 64,
+        rto: float = 0.25,
+        backoff_cap: float = 2.0,
+        heartbeat_s: float = 0.5,
+        suspect_after: float = 2.0,
+        down_after: float = 6.0,
+        max_backlog: int = 4096,
+        outbox_limit: int = 8192,
     ):
         if len(endpoints) != group.n:
             raise TransportError("need one endpoint per party")
         self.group = group
         self.index = index
         self.endpoints = endpoints
+        self.listen_endpoint = listen_endpoint or endpoints[index]
         self.connect_retry_s = connect_retry_s
+        self.seed = seed
+        self.window = window
+        self.rto = rto
+        self.backoff_cap = backoff_cap
+        self.heartbeat_s = heartbeat_s
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self.max_backlog = max_backlog
+        self.outbox_limit = outbox_limit
         self.ctx = TcpContext(self)
+        self.failure_detector: Optional[FailureDetector] = None
         self._server: Optional[asyncio.AbstractServer] = None
-        self._out: Dict[int, asyncio.Queue] = {}
+        self._links: Dict[int, _PeerLink] = {}
         self._tasks: List[asyncio.Task] = []
+        self._timers: Set[asyncio.TimerHandle] = set()
+        self._incoming: Set[asyncio.StreamWriter] = set()
         self.frames_received = 0
         self.auth_failures = 0
+
+    # -- seeded material ---------------------------------------------------------
+
+    def _new_session(self, peer: int, epoch: int) -> bytes:
+        if self.seed is not None:
+            r = rng_mod.derive(self.seed, "tcp-session", self.index, peer, epoch)
+        else:
+            r = rng_mod.fresh()
+        return r.randbytes(SESSION_BYTES)
+
+    def _backoff(self, peer: int) -> BackoffPolicy:
+        if self.seed is not None:
+            r = rng_mod.derive(self.seed, "tcp-backoff", self.index, peer)
+        else:
+            r = rng_mod.fresh()
+        return BackoffPolicy(base=self.connect_retry_s, cap=self.backoff_cap, rng=r)
 
     # -- lifecycle --------------------------------------------------------------
 
     async def start(self) -> None:
-        """Listen on the local endpoint and connect to all peers."""
-        host, port = self.endpoints[self.index]
+        """Listen on the local endpoint and supervise one link per peer."""
+        loop = asyncio.get_running_loop()
+        peers = [p for p in range(self.group.n) if p != self.index]
+        self.failure_detector = FailureDetector(
+            peers, self.suspect_after, self.down_after, now=loop.time()
+        )
+        host, port = self.listen_endpoint
         self._server = await asyncio.start_server(self._on_peer, host, port)
-        for peer in range(self.group.n):
-            if peer == self.index:
-                continue
-            self._out[peer] = asyncio.Queue()
-            self._tasks.append(asyncio.ensure_future(self._writer(peer)))
+        for peer in peers:
+            link = _PeerLink(self, peer)
+            self._links[peer] = link
+            link.task = asyncio.ensure_future(self._supervise(peer))
+            self._tasks.append(link.task)
+        self._tasks.append(asyncio.ensure_future(self._heartbeat_loop()))
 
     async def stop(self) -> None:
+        for handle in list(self._timers):
+            handle.cancel()
+        self._timers.clear()
+        for link in self._links.values():
+            if link.poll_handle is not None:
+                link.poll_handle.cancel()
+                link.poll_handle = None
         for task in self._tasks:
             task.cancel()
-        for task in self._tasks:
-            try:
-                await task
-            except (asyncio.CancelledError, Exception):
-                pass
+        results = await asyncio.gather(*self._tasks, return_exceptions=True)
+        for task, result in zip(self._tasks, results):
+            # CancelledError is the expected outcome; anything else is a
+            # real supervisor/heartbeat failure worth surfacing.
+            if isinstance(result, Exception):
+                logger.warning("task %r failed during stop: %r", task, result)
+        for writer in list(self._incoming):
+            writer.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -179,40 +402,118 @@ class TcpNode:
     def send_frame(self, dst: int, frame: bytes) -> None:
         if dst == self.index:
             # Local loop: deliver asynchronously like any other message.
-            asyncio.get_event_loop().call_soon(self._deliver, frame)
-        else:
-            self._out[dst].put_nowait(frame)
+            asyncio.get_running_loop().call_soon(self._deliver, frame)
+            return
+        link = self._links[dst]
+        now = asyncio.get_running_loop().time()
+        for datagram in link.sender.send(frame, now):
+            link.outbox.put(datagram)
+        self._schedule_poll(dst)
 
-    async def _writer(self, peer: int) -> None:
+    def _framed(self, frame: bytes) -> bytes:
+        return _LEN.pack(len(frame)) + frame
+
+    def _hello_frame(self, peer: int) -> bytes:
+        link = self._links[peer]
+        session = link.sender.session
+        tag = link.auth.tag(encode((KIND_HELLO, self.index, session)))
+        return encode((KIND_HELLO, self.index, session, tag))
+
+    async def _supervise(self, peer: int) -> None:
+        """Connection supervisor: dial, hand over the outbox, re-dial forever."""
         host, port = self.endpoints[peer]
+        link = self._links[peer]
+        backoff = self._backoff(peer)
+        attempt = 0
         pending: Optional[bytes] = None  # frame being written when the link died
         while True:
-            writer: Optional[asyncio.StreamWriter] = None
-            while writer is None:
-                try:
-                    _, writer = await asyncio.open_connection(host, port)
-                except OSError:
-                    await asyncio.sleep(self.connect_retry_s)
             try:
+                _, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff.delay(attempt))
+                attempt += 1
+                continue
+            attempt = 0
+            link.connects += 1
+            link.connected = True
+            try:
+                # Announce the session first, then retransmit whatever was
+                # unacknowledged at disconnect (session resumption).
+                writer.write(self._framed(self._hello_frame(peer)))
+                if link.connects > 1 or link.outbox.dropped:
+                    now = asyncio.get_running_loop().time()
+                    for datagram in link.sender.resume(now):
+                        link.outbox.put(datagram)
+                    self._schedule_poll(peer)
+                await writer.drain()
                 while True:
-                    frame = pending if pending is not None else await self._out[peer].get()
+                    frame = pending if pending is not None else await link.outbox.get()
                     pending = frame
-                    writer.write(_LEN.pack(len(frame)) + frame)
+                    writer.write(self._framed(frame))
                     await writer.drain()
                     pending = None
             except (ConnectionError, OSError):
-                # The connection died after establishment: re-enter the
-                # connect loop; ``pending`` is retransmitted first so the
-                # frame being written is not lost.
-                await asyncio.sleep(self.connect_retry_s)
+                pass
             finally:
+                link.connected = False
                 writer.close()
+            await asyncio.sleep(backoff.delay(attempt))
+            attempt += 1
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            for peer, link in self._links.items():
+                counter = link.hb_next
+                link.hb_next += 1
+                tag = link.auth.tag(encode((KIND_HEARTBEAT, self.index, counter)))
+                link.outbox.put(encode((KIND_HEARTBEAT, self.index, counter, tag)))
+
+    # -- retransmission timers ---------------------------------------------------
+
+    def _schedule_poll(self, peer: int) -> None:
+        link = self._links[peer]
+        deadline = link.sender.next_timeout
+        if deadline is None:
+            return
+        loop = asyncio.get_running_loop()
+        if (
+            link.poll_when is not None
+            and link.poll_when <= deadline + 1e-9
+            and link.poll_when > loop.time()
+        ):
+            return
+        if link.poll_handle is not None:
+            link.poll_handle.cancel()
+        when = max(deadline, loop.time() + 1e-4)
+        link.poll_when = when
+        link.poll_handle = loop.call_later(when - loop.time(), self._poll, peer, when)
+
+    def _poll(self, peer: int, when: float) -> None:
+        link = self._links[peer]
+        if link.poll_when == when:
+            link.poll_handle = None
+            link.poll_when = None
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        if not link.connected:
+            # No carrier: check again one RTO from now (the supervisor's
+            # resume() covers the reconnect itself).
+            when = now + self.rto
+            link.poll_when = when
+            link.poll_handle = loop.call_later(self.rto, self._poll, peer, when)
+            return
+        for datagram in link.sender.poll(now):
+            link.outbox.put(datagram)
+        self._schedule_poll(peer)
 
     # -- receiving -----------------------------------------------------------------
 
     async def _on_peer(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._incoming.add(writer)
+        peer: Optional[int] = None  # bound by the first valid hello
         try:
             while True:
                 header = await reader.readexactly(4)
@@ -220,11 +521,115 @@ class TcpNode:
                 if length > MAX_FRAME:
                     raise TransportError("oversized frame")
                 frame = await reader.readexactly(length)
-                self._deliver(frame)
-        except (asyncio.IncompleteReadError, ConnectionError, TransportError):
+                peer = self._handle_frame(peer, frame)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        except TransportError:
+            # Malformed or unauthenticated framing: drop the connection so
+            # the peer's supervisor re-dials with fresh, aligned framing
+            # (a corrupted length prefix desynchronizes everything after).
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown: finish cleanly so asyncio's streams callback
+            # does not log a spurious traceback for the handler task.
             pass
         finally:
+            self._incoming.discard(writer)
             writer.close()
+
+    def _handle_frame(self, bound: Optional[int], frame: bytes) -> int:
+        """Dispatch one wire frame; returns the connection's peer binding."""
+        try:
+            fields = decode(frame)
+        except EncodingError:
+            self.auth_failures += 1
+            raise TransportError("undecodable frame")
+        if not isinstance(fields, tuple) or not fields:
+            self.auth_failures += 1
+            raise TransportError("malformed frame")
+        kind = fields[0]
+        now = asyncio.get_running_loop().time()
+
+        if kind == KIND_HELLO and len(fields) == 4:
+            _, sender, session, tag = fields
+            if (
+                not isinstance(sender, int)
+                or not isinstance(session, bytes)
+                or not isinstance(tag, bytes)
+                or not 0 <= sender < self.group.n
+                or sender == self.index
+            ):
+                self.auth_failures += 1
+                raise TransportError("malformed hello")
+            link = self._links[sender]
+            if not link.auth.verify(encode((KIND_HELLO, sender, session)), tag):
+                self.auth_failures += 1
+                raise TransportError("unauthenticated hello")
+            self._on_hello(sender, session, now)
+            return sender
+
+        if bound is None:
+            self.auth_failures += 1
+            raise TransportError("frame before hello")
+        link = self._links[bound]
+
+        if kind == KIND_DATA and len(fields) == 5:
+            if link.receiver is not None:
+                acks = link.receiver.on_data(fields)
+                if acks:
+                    for ack in acks:
+                        link.outbox.put(ack)
+                    self.failure_detector.touch(bound, now)
+            return bound
+
+        if kind == KIND_ACK and len(fields) == 4:
+            forged_before = link.sender.forged_acks
+            for datagram in link.sender.on_ack(fields, now):
+                link.outbox.put(datagram)
+            if link.sender.forged_acks == forged_before:
+                self.failure_detector.touch(bound, now)
+            self._schedule_poll(bound)
+            return bound
+
+        if kind == KIND_HEARTBEAT and len(fields) == 4:
+            _, sender, counter, tag = fields
+            if (
+                sender != bound
+                or not isinstance(counter, int)
+                or not isinstance(tag, bytes)
+                or not link.auth.verify(encode((KIND_HEARTBEAT, sender, counter)), tag)
+            ):
+                self.auth_failures += 1
+                return bound
+            if counter > link.hb_seen:  # replays keep nobody alive
+                link.hb_seen = counter
+                link.heartbeats_seen += 1
+                self.failure_detector.touch(bound, now)
+            return bound
+
+        self.auth_failures += 1
+        raise TransportError(f"unknown frame kind {kind!r}")
+
+    def _on_hello(self, sender: int, session: bytes, now: float) -> None:
+        link = self._links[sender]
+        self.failure_detector.touch(sender, now)
+        if link.rx_session == session:
+            return  # resumed connection: receive state (dedup) is intact
+        restarted = link.rx_session is not None
+        link.rx_session = session
+        link.receiver = SlidingWindowReceiver(link.auth, session, self._deliver)
+        if restarted:
+            # The peer instance restarted (its receive state is gone):
+            # renumber our unacknowledged traffic under a fresh session,
+            # announced before the renumbered data (the outbox is FIFO).
+            link.epoch += 1
+            datagrams = link.sender.rebind(
+                self._new_session(sender, link.epoch), now
+            )
+            link.outbox.put(self._hello_frame(sender))
+            for datagram in datagrams:
+                link.outbox.put(datagram)
+            self._schedule_poll(sender)
 
     def _deliver(self, frame: bytes) -> None:
         try:
@@ -236,7 +641,71 @@ class TcpNode:
         self.frames_received += 1
         self.ctx.router.dispatch(msg.sender, msg.pid, msg.mtype, msg.payload)
 
+    # -- observability -----------------------------------------------------------
 
-def local_endpoints(n: int, base_port: int = 47310) -> List[Tuple[str, int]]:
-    """Localhost endpoints for an in-process test deployment."""
-    return [("127.0.0.1", base_port + i) for i in range(n)]
+    def link_stats(self, peer: int) -> LinkStats:
+        """Current counters for the directed link to/from ``peer``."""
+        link = self._links[peer]
+        receiver = link.receiver
+        state = "alive"
+        if self.failure_detector is not None:
+            state = self.failure_detector.state(
+                peer, asyncio.get_running_loop().time()
+            )
+        return LinkStats(
+            reconnects=max(0, link.connects - 1),
+            retransmissions=link.sender.retransmissions,
+            backlog=link.sender.backlog_depth + len(link.outbox),
+            overflow_dropped=link.sender.overflow_dropped + link.outbox.dropped,
+            auth_failures=link.sender.forged_acks
+            + (receiver.forged_data if receiver is not None else 0),
+            duplicates=receiver.duplicates if receiver is not None else 0,
+            heartbeats=link.heartbeats_seen,
+            state=state,
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate counters plus the per-peer breakdown."""
+        per_peer = {peer: self.link_stats(peer) for peer in sorted(self._links)}
+        return {
+            "frames_received": self.frames_received,
+            "auth_failures": self.auth_failures,
+            "reconnects": sum(s.reconnects for s in per_peer.values()),
+            "retransmissions": sum(s.retransmissions for s in per_peer.values()),
+            "backlog": sum(s.backlog for s in per_peer.values()),
+            "overflow_dropped": sum(s.overflow_dropped for s in per_peer.values()),
+            "peers": per_peer,
+        }
+
+    def peer_states(self) -> Dict[int, str]:
+        """Failure-detector classification of every peer, right now."""
+        if self.failure_detector is None:
+            return {}
+        return self.failure_detector.states(asyncio.get_running_loop().time())
+
+
+def local_endpoints(
+    n: int, base_port: Optional[int] = None
+) -> List[Tuple[str, int]]:
+    """Localhost endpoints for an in-process test deployment.
+
+    Without ``base_port``, ephemeral ports are allocated by binding port 0
+    and reading back the kernel's assignment — parallel test runs cannot
+    collide on a fixed base.  All ``n`` sockets are held open until every
+    port is known, so the same port is never handed out twice.
+    """
+    if base_port is not None:
+        return [("127.0.0.1", base_port + i) for i in range(n)]
+    sockets: List[socket.socket] = []
+    endpoints: List[Tuple[str, int]] = []
+    try:
+        for _ in range(n):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+            endpoints.append(("127.0.0.1", sock.getsockname()[1]))
+    finally:
+        for sock in sockets:
+            sock.close()
+    return endpoints

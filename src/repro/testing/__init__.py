@@ -7,6 +7,8 @@ Everything a test needs to fuzz the SINTRA stack from one integer seed:
   CLI: ``python -m repro.testing.schedule``);
 * :mod:`repro.testing.invariants` — live protocol safety checkers;
 * :mod:`repro.testing.mutator` — the wire-level Byzantine mutator;
+* :mod:`repro.testing.netchaos` — seeded socket-level chaos proxies for
+  the real asyncio TCP runtime;
 * :mod:`repro.testing.shrink` — greedy fault-plan minimization.
 
 See ``docs/TESTING.md`` for the guided tour.
@@ -32,6 +34,7 @@ _EXPORTS = {
         "TotalOrderInvariant",
     ],
     "mutator": ["ByzantineMutator", "MutationRates"],
+    "netchaos": ["ChaosFabric", "ChaosProxy"],
     "schedule": [
         "AgreementScenario",
         "CaseResult",

@@ -1,0 +1,232 @@
+"""Socket-level chaos testing for the asyncio TCP runtime.
+
+PR 1's fuzz harness explores protocol schedules under a *simulated*
+network; this module extends the same seeded fault-plan philosophy to the
+real asyncio stack.  A :class:`ChaosProxy` is an in-process TCP proxy
+that forwards bytes between real :class:`~repro.net.tcp.TcpNode` sockets
+while injecting, per forwarded chunk and from a seeded stream:
+
+* **connection resets** — both directions aborted mid-flight;
+* **stalls** — a direction pauses, stretching delivery;
+* **truncated frames** — a prefix of a chunk is forwarded, then a reset;
+* **byte corruption** — one bit flipped (caught by the window's HMACs).
+
+All *decisions* are drawn from ``random.Random`` streams derived from one
+seed via :mod:`repro.common.rng`; chunk boundaries still depend on OS
+timing, so a chaos run is seeded-reproducible in distribution rather than
+byte-exact — the repro line pins the seed and probabilities, as in the
+fuzz tier.
+
+:class:`ChaosFabric` wires a whole group: node *i* listens on a private
+ephemeral port, every peer dials proxy *i* instead, and the proxy
+forwards (with chaos) to the real port.  ``kill_connections()`` plus
+``blackhole`` emulate a peer's network dying and healing mid-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.common import rng as rng_mod
+from repro.net.faults import SocketChaosPlan
+from repro.net.tcp import TcpNode, local_endpoints
+
+CHUNK = 4096
+
+
+class ChaosProxy:
+    """Seeded chaos TCP proxy in front of one listening endpoint."""
+
+    def __init__(
+        self,
+        target: Tuple[str, int],
+        plan: Optional[SocketChaosPlan] = None,
+        rng: Optional[random.Random] = None,
+        host: str = "127.0.0.1",
+    ):
+        self.target = target
+        self.plan = plan or SocketChaosPlan()
+        self.host = host
+        self.port: Optional[int] = None
+        self._rng = rng if rng is not None else random.Random(0)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self.blackholed = False
+        self.connections = 0
+        self.resets_injected = 0
+        self.stalls_injected = 0
+        self.corruptions_injected = 0
+        self.truncations_injected = 0
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(self._accept, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return (self.host, self.port)
+
+    async def stop(self) -> None:
+        self.kill_connections()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def kill_connections(self) -> None:
+        """Abort every live proxied connection (both sides, immediately)."""
+        for writer in list(self._writers):
+            writer.transport.abort()
+        self._writers.clear()
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self.blackholed:
+            writer.transport.abort()
+            return
+        up_writer: Optional[asyncio.StreamWriter] = None
+        try:
+            try:
+                up_reader, up_writer = await asyncio.open_connection(*self.target)
+            except OSError:
+                writer.close()
+                return
+            self.connections += 1
+            # One decision stream per connection, split off the proxy
+            # stream: reconnects get fresh draws but the whole run replays
+            # from one seed.
+            conn_rng = random.Random(self._rng.getrandbits(64))
+            self._writers.update((writer, up_writer))
+            await asyncio.gather(
+                self._pump(reader, up_writer, writer, conn_rng),
+                self._pump(up_reader, writer, up_writer, conn_rng),
+                return_exceptions=True,
+            )
+        except asyncio.CancelledError:
+            # Loop teardown: finish cleanly so asyncio's streams callback
+            # does not log a spurious traceback for the handler task.
+            pass
+        finally:
+            for w in (writer, up_writer):
+                if w is None:
+                    continue
+                self._writers.discard(w)
+                w.close()
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        back_writer: asyncio.StreamWriter,
+        rng: random.Random,
+    ) -> None:
+        plan = self.plan
+        try:
+            while True:
+                chunk = await reader.read(CHUNK)
+                if not chunk:
+                    writer.close()
+                    return
+                if rng.random() < plan.reset_prob:
+                    self.resets_injected += 1
+                    writer.transport.abort()
+                    back_writer.transport.abort()
+                    return
+                if rng.random() < plan.truncate_prob and len(chunk) > 1:
+                    self.truncations_injected += 1
+                    writer.write(chunk[: rng.randrange(1, len(chunk))])
+                    await asyncio.wait_for(writer.drain(), timeout=1.0)
+                    writer.transport.abort()
+                    back_writer.transport.abort()
+                    return
+                if rng.random() < plan.corrupt_prob:
+                    self.corruptions_injected += 1
+                    pos = rng.randrange(len(chunk))
+                    flipped = chunk[pos] ^ (1 << rng.randrange(8))
+                    chunk = chunk[:pos] + bytes((flipped,)) + chunk[pos + 1 :]
+                if rng.random() < plan.stall_prob:
+                    self.stalls_injected += 1
+                    await asyncio.sleep(plan.stall_s)
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            writer.close()
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        return {
+            "connections": self.connections,
+            "resets": self.resets_injected,
+            "stalls": self.stalls_injected,
+            "corruptions": self.corruptions_injected,
+            "truncations": self.truncations_injected,
+        }
+
+
+class ChaosFabric:
+    """A group of :class:`ChaosProxy` instances fronting ``n`` TcpNodes.
+
+    Usage::
+
+        fabric = ChaosFabric(4, plan, seed=0xS1NTRA)
+        await fabric.start()
+        nodes = fabric.make_nodes(group)
+        await asyncio.gather(*(node.start() for node in nodes))
+        ...
+        await asyncio.gather(*(node.stop() for node in nodes))
+        await fabric.stop()
+    """
+
+    def __init__(
+        self,
+        n: int,
+        plan: Optional[SocketChaosPlan] = None,
+        seed: object = 0,
+        host: str = "127.0.0.1",
+    ):
+        self.n = n
+        self.seed = seed
+        #: where the nodes really listen (ephemeral, collision-free)
+        self.real_endpoints = local_endpoints(n)
+        self.proxies = [
+            ChaosProxy(
+                self.real_endpoints[i],
+                plan,
+                rng=rng_mod.derive(seed, "netchaos", i),
+                host=host,
+            )
+            for i in range(n)
+        ]
+        #: what the group advertises (the proxies); filled by ``start``
+        self.endpoints: Optional[List[Tuple[str, int]]] = None
+
+    async def start(self) -> List[Tuple[str, int]]:
+        self.endpoints = [await proxy.start() for proxy in self.proxies]
+        return self.endpoints
+
+    async def stop(self) -> None:
+        for proxy in self.proxies:
+            await proxy.stop()
+
+    def make_nodes(self, group, **node_kwargs: Any) -> List[TcpNode]:
+        """TcpNodes that listen privately and dial each other via proxies."""
+        if self.endpoints is None:
+            raise RuntimeError("start() the fabric before make_nodes()")
+        return [
+            TcpNode(
+                group,
+                i,
+                self.endpoints,
+                seed=rng_mod.derive_int(self.seed, "netchaos-node", i),
+                listen_endpoint=self.real_endpoints[i],
+                **node_kwargs,
+            )
+            for i in range(group.n)
+        ]
+
+    def injected(self) -> Dict[str, int]:
+        """Summed injection counters across all proxies."""
+        totals: Dict[str, int] = {}
+        for proxy in self.proxies:
+            for key, value in proxy.injected.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,74 @@
+"""Failure-detector state transitions under a synthetic clock."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.net.failure_detector import ALIVE, DOWN, SUSPECT, FailureDetector
+
+
+def _fd(**kwargs):
+    defaults = dict(suspect_after=1.0, down_after=3.0, now=0.0)
+    defaults.update(kwargs)
+    return FailureDetector([1, 2, 3], **defaults)
+
+
+def test_initial_state_is_alive():
+    fd = _fd()
+    assert fd.states(0.0) == {1: ALIVE, 2: ALIVE, 3: ALIVE}
+    assert fd.alive(0.0) == [1, 2, 3]
+
+
+def test_alive_suspect_down_progression():
+    fd = _fd()
+    assert fd.state(1, 0.5) == ALIVE
+    assert fd.state(1, 1.0) == SUSPECT  # boundary: age >= suspect_after
+    assert fd.state(1, 2.9) == SUSPECT
+    assert fd.state(1, 3.0) == DOWN
+    assert fd.state(1, 100.0) == DOWN
+
+
+def test_progress_restores_alive_from_any_state():
+    fd = _fd()
+    assert fd.state(1, 5.0) == DOWN
+    fd.touch(1, 5.0)
+    assert fd.state(1, 5.0) == ALIVE
+    assert fd.state(1, 5.9) == ALIVE
+    assert fd.state(1, 6.0) == SUSPECT
+
+
+def test_touch_is_monotone():
+    fd = _fd()
+    fd.touch(1, 10.0)
+    fd.touch(1, 4.0)  # stale event must not rewind liveness
+    assert fd.last_progress(1) == 10.0
+
+
+def test_per_peer_independence():
+    fd = _fd()
+    fd.touch(2, 2.5)
+    assert fd.states(3.0) == {1: DOWN, 2: ALIVE, 3: DOWN}
+    assert fd.alive(3.0) == [2]
+
+
+def test_next_transition_tracks_earliest_deadline():
+    fd = _fd()
+    fd.touch(1, 2.0)
+    # peers 2 and 3 (last=0) hit suspect at 1.0; from now=0.5 that's next
+    assert fd.next_transition(0.5) == pytest.approx(1.0)
+    # at 2.5: peers 2,3 are suspect (down at 3.0); peer 1 suspect at 3.0
+    assert fd.next_transition(2.5) == pytest.approx(3.0)
+    # once everything is down, there is nothing left to wait for
+    assert fd.next_transition(50.0) is None
+
+
+def test_unknown_peer_rejected():
+    fd = _fd()
+    with pytest.raises(ConfigError):
+        fd.touch(9, 1.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigError):
+        FailureDetector([1], suspect_after=2.0, down_after=1.0)
+    with pytest.raises(ConfigError):
+        FailureDetector([1], suspect_after=0.0, down_after=1.0)

@@ -184,3 +184,89 @@ def test_next_timeout_tracking():
     assert sender.next_timeout is None
     sender.send(b"x", 1.0)
     assert sender.next_timeout == pytest.approx(1.5)
+
+
+# -- session resumption and bounded backlogs (the resilient TCP runtime) --------
+
+
+def _receiver_for(sender, delivered):
+    from repro.net.sliding_window import SlidingWindowReceiver
+
+    return SlidingWindowReceiver(AUTH, sender.session, delivered.append)
+
+
+def test_resume_retransmits_all_inflight_immediately():
+    sender = SlidingWindowSender(AUTH, SESSION, rto=10.0)
+    for k in range(3):
+        sender.send(b"m%d" % k, now=0.0)
+    # long before the RTO, a reconnect resumes the session: every
+    # unacknowledged frame is re-sent without waiting for the timer
+    datagrams = sender.resume(now=0.1)
+    assert len(datagrams) == 3
+    assert sender.retransmissions == 3
+    delivered = []
+    receiver = _receiver_for(sender, delivered)
+    for d in datagrams:
+        receiver.on_data(decode(d))
+    assert delivered == [b"m0", b"m1", b"m2"]
+
+
+def test_resume_duplicates_are_suppressed_by_receiver():
+    sender = SlidingWindowSender(AUTH, SESSION, rto=10.0)
+    originals = sender.send(b"payload", now=0.0)
+    delivered = []
+    receiver = _receiver_for(sender, delivered)
+    receiver.on_data(decode(originals[0]))
+    # the ACK is lost; after reconnect the sender resumes and re-sends
+    for d in sender.resume(now=0.5):
+        receiver.on_data(decode(d))
+    assert delivered == [b"payload"]
+    assert receiver.duplicates == 1
+
+
+def test_rebind_renumbers_unacked_traffic_under_new_session():
+    sender = SlidingWindowSender(AUTH, SESSION, window=2, rto=10.0)
+    out = []
+    for k in range(5):
+        out += sender.send(b"m%d" % k, now=0.0)
+    assert len(out) == 2  # window of 2: three payloads backlogged
+    # the peer restarted: its receive state is gone, so renumber
+    datagrams = sender.rebind(b"fresh-session", now=1.0)
+    assert sender.session == b"fresh-session"
+    delivered = []
+    receiver = _receiver_for(sender, delivered)
+    acks = []
+    while datagrams:
+        for d in datagrams:
+            acks += receiver.on_data(decode(d))
+        datagrams = []
+        for a in acks:
+            datagrams += sender.on_ack(decode(a), now=1.0)
+        acks = []
+    assert delivered == [b"m%d" % k for k in range(5)]  # order preserved
+
+
+def test_bounded_backlog_drop_oldest_policy():
+    sender = SlidingWindowSender(AUTH, SESSION, window=1, max_backlog=2, rto=10.0)
+    sender.send(b"w", now=0.0)  # fills the window
+    for k in range(4):
+        sender.send(b"b%d" % k, now=0.0)
+    assert sender.overflow_dropped == 2  # b0, b1 degraded away
+    assert sender.backlog_depth == 3  # w in flight + b2, b3
+
+
+def test_bounded_backlog_raise_policy():
+    from repro.common.errors import LinkOverflow
+
+    sender = SlidingWindowSender(
+        AUTH, SESSION, window=1, max_backlog=1, overflow="raise", rto=10.0
+    )
+    sender.send(b"w", now=0.0)
+    sender.send(b"queued", now=0.0)
+    with pytest.raises(LinkOverflow):
+        sender.send(b"overflow", now=0.0)
+
+
+def test_invalid_overflow_policy_rejected():
+    with pytest.raises(ProtocolError):
+        SlidingWindowSender(AUTH, SESSION, overflow="drop-newest")

@@ -5,23 +5,24 @@ import asyncio
 import pytest
 
 from repro.common.errors import TransportError
+from repro.common.rng import derive
 from repro.core.agreement import BinaryAgreement
 from repro.core.broadcast import ReliableBroadcast
 from repro.core.channel import AtomicChannel
-from repro.net.tcp import AsyncQueue, TcpNode, local_endpoints
+from repro.net.failure_detector import ALIVE
+from repro.net.tcp import AsyncQueue, BackoffPolicy, TcpNode, local_endpoints
 
 from tests.conftest import cached_group
-
-BASE_PORT = 48210
 
 
 def _run(coro, timeout=60):
     return asyncio.run(asyncio.wait_for(coro, timeout))
 
 
-async def _with_nodes(base_port, body, n=4, t=1):
+async def _with_nodes(body, n=4, t=1, **node_kwargs):
     group = cached_group(n, t)
-    nodes = [TcpNode(group, i, local_endpoints(n, base_port)) for i in range(n)]
+    endpoints = local_endpoints(n)
+    nodes = [TcpNode(group, i, endpoints, **node_kwargs) for i in range(n)]
     await asyncio.gather(*(node.start() for node in nodes))
     try:
         return await body(nodes)
@@ -35,13 +36,25 @@ def test_endpoint_count_checked():
         TcpNode(group, 0, local_endpoints(3))
 
 
+def test_local_endpoints_are_ephemeral_and_distinct():
+    # no fixed base: the kernel assigns the ports, so parallel test runs
+    # cannot collide; all n must be distinct within one call
+    eps = local_endpoints(8)
+    assert len({port for _, port in eps}) == 8
+    assert all(port > 0 for _, port in eps)
+    # the historical fixed-base form is still available for config files
+    assert local_endpoints(3, base_port=50000) == [
+        ("127.0.0.1", 50000 + i) for i in range(3)
+    ]
+
+
 def test_reliable_broadcast_over_tcp():
     async def body(nodes):
         rbcs = [ReliableBroadcast(node.ctx, "rbc", 0) for node in nodes]
         rbcs[0].send(b"over tcp")
         return await asyncio.gather(*(r.delivered for r in rbcs))
 
-    values = _run(_with_nodes(BASE_PORT, body))
+    values = _run(_with_nodes(body))
     assert values == [b"over tcp"] * 4
 
 
@@ -52,7 +65,7 @@ def test_binary_agreement_over_tcp():
             a.propose(i % 2)
         return await asyncio.gather(*(a.decided for a in abas))
 
-    results = _run(_with_nodes(BASE_PORT + 10, body))
+    results = _run(_with_nodes(body))
     assert len({v for v, _ in results}) == 1
 
 
@@ -70,7 +83,7 @@ def test_atomic_channel_total_order_over_tcp():
 
         return await asyncio.gather(*(drain(ch) for ch in chans))
 
-    sequences = _run(_with_nodes(BASE_PORT + 20, body))
+    sequences = _run(_with_nodes(body))
     assert all(seq == sequences[0] for seq in sequences)
     assert sorted(sequences[0]) == [b"m0", b"m1", b"m2"]
 
@@ -78,7 +91,7 @@ def test_atomic_channel_total_order_over_tcp():
 def test_auth_failures_counted():
     async def body(nodes):
         # a raw client writes garbage to node 0's listening socket
-        host, port = nodes[0].endpoints[0]
+        host, port = nodes[0].listen_endpoint
         _, writer = await asyncio.open_connection(host, port)
         frame = b"not a sealed frame"
         import struct
@@ -89,7 +102,7 @@ def test_auth_failures_counted():
         writer.close()
         return nodes[0].auth_failures
 
-    failures = _run(_with_nodes(BASE_PORT + 30, body))
+    failures = _run(_with_nodes(body))
     assert failures == 1
 
 
@@ -102,3 +115,128 @@ def test_async_queue_interface():
         assert await q.get() == 1
 
     _run(body())
+
+
+# -- connection supervision ------------------------------------------------------
+
+
+def test_backoff_grows_exponentially_to_cap():
+    policy = BackoffPolicy(base=0.1, cap=1.0, multiplier=2.0, jitter=0.0)
+    delays = [policy.delay(a) for a in range(6)]
+    assert delays == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+
+def test_backoff_jitter_is_bounded_and_deterministic():
+    a = BackoffPolicy(base=0.1, cap=1.0, jitter=0.25, rng=derive(7, "backoff"))
+    b = BackoffPolicy(base=0.1, cap=1.0, jitter=0.25, rng=derive(7, "backoff"))
+    delays_a = [a.delay(k) for k in range(50)]
+    delays_b = [b.delay(k) for k in range(50)]
+    assert delays_a == delays_b  # same derived stream, same schedule
+    for attempt, delay in enumerate(delays_a):
+        raw = min(1.0, 0.1 * 2.0 ** attempt)
+        assert raw * 0.75 - 1e-12 <= delay <= raw * 1.25 + 1e-12
+    assert len(set(delays_a[10:])) > 1  # capped but still spread
+
+
+def test_backoff_parameter_validation():
+    with pytest.raises(TransportError):
+        BackoffPolicy(base=0.0)
+    with pytest.raises(TransportError):
+        BackoffPolicy(base=1.0, cap=0.5)
+    with pytest.raises(TransportError):
+        BackoffPolicy(jitter=1.0)
+
+
+def test_writer_survives_peer_listener_restart():
+    """A peer's inbound socket dying must not kill the link: the
+    supervisor reconnects and the session resumes without frame loss."""
+
+    async def body():
+        group = cached_group(2, 0)
+        endpoints = local_endpoints(2)
+        nodes = [
+            TcpNode(group, i, endpoints, connect_retry_s=0.02, rto=0.1, seed=i)
+            for i in range(2)
+        ]
+        await asyncio.gather(*(node.start() for node in nodes))
+        try:
+            rbc = [ReliableBroadcast(node.ctx, "r1", 0) for node in nodes]
+            rbc[0].send(b"before")
+            await asyncio.gather(*(r.delivered for r in rbc))
+
+            # hard-close every established connection into node 1
+            for writer in list(nodes[1]._incoming):
+                writer.transport.abort()
+
+            rbc2 = [ReliableBroadcast(node.ctx, "r2", 0) for node in nodes]
+            rbc2[0].send(b"after reconnect")
+            values = await asyncio.gather(*(r.delivered for r in rbc2))
+            return values, nodes[0].link_stats(1)
+        finally:
+            await asyncio.gather(*(node.stop() for node in nodes))
+
+    values, stats = _run(body())
+    assert values == [b"after reconnect"] * 2
+    assert stats.reconnects >= 1
+
+
+def test_stats_and_peer_states_exposed():
+    async def body(nodes):
+        rbcs = [ReliableBroadcast(node.ctx, "rbc", 0) for node in nodes]
+        rbcs[0].send(b"x")
+        await asyncio.gather(*(r.delivered for r in rbcs))
+        stats = nodes[0].stats()
+        return stats, nodes[0].peer_states()
+
+    stats, states = _run(_with_nodes(body))
+    assert set(stats["peers"]) == {1, 2, 3}
+    assert stats["frames_received"] > 0
+    assert stats["reconnects"] == 0  # clean run: first connects only
+    assert all(state == ALIVE for state in states.values())
+
+
+def test_stop_cancels_protocol_timers():
+    async def body():
+        group = cached_group(2, 0)
+        endpoints = local_endpoints(2)
+        nodes = [TcpNode(group, i, endpoints) for i in range(2)]
+        await asyncio.gather(*(node.start() for node in nodes))
+        fired = []
+        nodes[0].ctx.set_timer(30.0, lambda: fired.append(1))
+        assert len(nodes[0]._timers) == 1
+        await asyncio.gather(*(node.stop() for node in nodes))
+        assert nodes[0]._timers == set()
+        return fired
+
+    assert _run(body()) == []
+
+
+def test_heartbeats_drive_failure_detector():
+    async def body():
+        group = cached_group(2, 0)
+        endpoints = local_endpoints(2)
+        nodes = [
+            TcpNode(
+                group, i, endpoints,
+                heartbeat_s=0.05, suspect_after=0.4, down_after=0.8, seed=i,
+            )
+            for i in range(2)
+        ]
+        await asyncio.gather(*(node.start() for node in nodes))
+        try:
+            await asyncio.sleep(0.5)  # several heartbeat intervals, no traffic
+            alive_states = [n.peer_states() for n in nodes]
+            hb = nodes[0].link_stats(1).heartbeats
+            # silence node 1 entirely: stop() kills its supervisor and
+            # heartbeat tasks, so node 0 must see it degrade
+            await nodes[1].stop()
+            await asyncio.sleep(1.0)
+            late_state = nodes[0].peer_states()[1]
+            return alive_states, hb, late_state
+        finally:
+            await nodes[0].stop()
+
+    alive_states, heartbeats, late_state = _run(body())
+    assert alive_states == [{1: ALIVE}, {0: ALIVE}]
+    assert heartbeats > 0
+    assert late_state in ("suspect", "down")

@@ -61,7 +61,7 @@ def test_group_from_config_files_runs_over_tcp(tmp_path):
 
     group = cached_group(4, 1)
     directory = str(tmp_path / "deploy")
-    endpoints = local_endpoints(4, base_port=48750)
+    endpoints = local_endpoints(4)  # ephemeral: parallel runs cannot collide
     config_io.save_group(group, directory, endpoints=endpoints)
 
     # each "server" loads only its own two files
