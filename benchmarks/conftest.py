@@ -12,8 +12,39 @@ import sys
 
 import pytest
 
+from repro.experiments import runner as exp_runner
+from repro.obs.export import bench_dir_from_env
+from repro.obs.recorder import MemoryRecorder
+
 #: default per-experiment message budget (the paper used 500-1000)
 DEFAULT_MESSAGES = int(os.environ.get("REPRO_BENCH_MESSAGES", "24"))
+
+#: export directory for BENCH_*.json records (None = exporting off)
+BENCH_DIR = bench_dir_from_env()
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
+def bench_recorder():
+    """A recorder when BENCH export is enabled (``REPRO_BENCH_DIR``).
+
+    Returns ``None`` otherwise so unexported runs keep the no-op recorder
+    and its near-zero overhead.
+    """
+    return MemoryRecorder() if BENCH_DIR else None
+
+
+def bench_export(result, recorder, *, name, experiment, meta=None):
+    """Write ``BENCH_<name>.json`` when ``REPRO_BENCH_DIR`` is set."""
+    if BENCH_DIR:
+        exp_runner.export_result(
+            result, recorder, name=name, experiment=experiment,
+            meta=meta, bench_dir=BENCH_DIR,
+        )
 
 
 def bench_messages(scale: float = 1.0, minimum: int = 6) -> int:

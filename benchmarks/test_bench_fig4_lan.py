@@ -20,19 +20,24 @@ from repro.experiments import LAN_SETUP, run_channel_experiment
 from repro.experiments.report import band_fractions, series_summary
 from repro.experiments.runner import parse_payload
 
-from conftest import bench_messages, emit
+from conftest import bench_export, bench_messages, bench_recorder, emit
 
 SENDERS = [0, 2, 3]  # P0/Linux, P2/AIX, P3/Win2k — as in the paper
 
 
 def _run():
-    return run_channel_experiment(
+    recorder = bench_recorder()
+    result = run_channel_experiment(
         LAN_SETUP,
         "atomic",
         senders=SENDERS,
         messages=bench_messages(3.0, minimum=36),
         seed=44,
+        recorder=recorder,
     )
+    bench_export(result, recorder, name="fig4-LAN", experiment="fig4",
+                 meta={"seed": 44})
+    return result
 
 
 @pytest.mark.benchmark(group="fig4")

@@ -25,7 +25,7 @@ from repro.experiments import (
 )
 from repro.experiments.report import PAPER_TABLE1, table1_report
 
-from conftest import bench_messages, emit
+from conftest import bench_export, bench_messages, bench_recorder, emit
 
 _CACHE = {}
 
@@ -34,9 +34,14 @@ def _measure(setup, channel):
     key = (setup.name, channel)
     if key not in _CACHE:
         scale = 0.5 if setup.n == 7 else 1.0
+        recorder = bench_recorder()
         result = run_channel_experiment(
-            setup, channel, senders=[0], messages=bench_messages(scale), seed=17
+            setup, channel, senders=[0], messages=bench_messages(scale),
+            seed=17, recorder=recorder,
         )
+        bench_export(result, recorder,
+                     name=f"table1-{setup.name}-{channel}",
+                     experiment="table1", meta={"seed": 17})
         _CACHE[key] = result.mean_delivery_s
     return _CACHE[key]
 

@@ -52,6 +52,7 @@ class BroadcastChannel(Channel):
     """
 
     broadcast_cls: Type[Broadcast] = Broadcast  # overridden
+    kind = "bcast"
 
     def __init__(self, ctx: Context, pid: str, max_pending=None):
         super().__init__(ctx, pid, max_pending=max_pending)
@@ -70,6 +71,8 @@ class BroadcastChannel(Channel):
 
     def _allocate(self, j: int) -> None:
         seq = self._seq[j]
+        if self.obs.enabled:
+            self.obs.count(f"channel.{self.kind}.instances")
         bc = self.broadcast_cls(self.ctx, f"{self.pid}/bc.{seq}", j)
         bc.on_deliver = self._on_instance_delivered
         self._active[j] = bc
@@ -93,6 +96,15 @@ class BroadcastChannel(Channel):
                 self._emit_output(data)
         if j == self.ctx.node_id:
             self._in_flight = False
+            if self.obs.enabled:
+                started = getattr(self, "_in_flight_since", None)
+                if started is not None:
+                    # One full broadcast instance of our own, send to local
+                    # delivery — the per-slot cost of this channel kind.
+                    self.obs.observe(
+                        f"phase.{self.kind}.slot", self.ctx.now() - started
+                    )
+                    self._in_flight_since = None
             self._pump()
 
     # -- sending -----------------------------------------------------------------------
@@ -112,6 +124,8 @@ class BroadcastChannel(Channel):
         if self._in_flight or not self._backlog or self._terminated:
             return
         self._in_flight = True
+        if self.obs.enabled:
+            self._in_flight_since = self.ctx.now()
         payload = self._backlog.pop(0)
         self._active[self.ctx.node_id].send(payload)
 

@@ -56,6 +56,8 @@ def sign_string(pid: str, r: int, record: Record) -> bytes:
 class AtomicChannel(Channel):
     """One party's endpoint of the atomic broadcast channel."""
 
+    kind = "atomic"
+
     def __init__(
         self,
         ctx: Context,
@@ -114,6 +116,9 @@ class AtomicChannel(Channel):
         if record is None:
             return
         self._emitted_round = self.round
+        if self.obs.enabled:
+            # Phase 1 of a round: collecting signed candidates from peers.
+            self.obs.phase(self.obs_scope, "atomic.collect")
         sig = self.ctx.crypto.sign(SIGN_DOMAIN, sign_string(self.pid, self.round, record))
         self.send_all(MSG_QUEUE, (self.round, record, sig))
 
@@ -200,6 +205,9 @@ class AtomicChannel(Channel):
             order=self.order,
         )
         self._mvba.on_decide = self._on_batch_decided
+        if self.obs.enabled:
+            # Phase 2: the batch is in multi-valued Byzantine agreement.
+            self.obs.phase(self.obs_scope, "atomic.agree")
         self._mvba.propose(self._encode_batch(batch))
 
     def _encode_batch(self, batch: List[Tuple[int, Record, int]]) -> bytes:
@@ -257,6 +265,10 @@ class AtomicChannel(Channel):
         batch = self._decode_batch(r, value)
         if batch is None:  # cannot happen: the MVBA validated it
             raise ProtocolError("agreed batch failed validation")
+        if self.obs.enabled:
+            self.obs.phase_end(self.obs_scope)  # closes "atomic.agree"
+            self.obs.count("atomic.rounds")
+            self.obs.count("atomic.batch_entries", len(batch))
         # Fixed delivery order within the batch: by signer index.
         for signer, record, _ in sorted(batch, key=lambda e: e[0]):
             self._deliver_record(record)

@@ -27,6 +27,10 @@ class Channel(Protocol):
     applications that do not want to be blocked may call canSend() first".
     """
 
+    #: short channel-kind tag namespacing this channel's observability
+    #: instruments (``channel.<kind>.*`` counters, ``phase.<kind>.e2e``)
+    kind: str = "channel"
+
     def __init__(self, ctx: Context, pid: str, max_pending: Optional[int] = None):
         super().__init__(ctx, pid)
         self.outputs = ctx.new_queue()
@@ -38,6 +42,9 @@ class Channel(Protocol):
         self._submitted = 0  # sends accepted but not yet in _pending_count
         self._close_requested = False
         self._terminated = False
+        #: submit time of this party's own payloads, for the end-to-end
+        #: (send -> local delivery) latency histogram; recording only
+        self._send_times: dict = {}
 
     # -- paper API ----------------------------------------------------------------
 
@@ -54,6 +61,9 @@ class Channel(Protocol):
             )
         data = bytes(message)
         self._submitted += 1
+        if self.obs.enabled:
+            self.obs.count(f"channel.{self.kind}.sent")
+            self._send_times.setdefault(data, self.ctx.now())
 
         def run() -> None:
             self._submitted -= 1
@@ -110,11 +120,20 @@ class Channel(Protocol):
         """Close the channel locally (the CLOSE-DONE event)."""
         if not self._terminated:
             self._terminated = True
+            if self.obs.enabled:
+                self.obs.phase_end(self.obs_scope)  # flush any open phase
             self.ctx.effect(self.closed.resolve, None)
             self.halt()
 
     def _emit_output(self, data: bytes) -> None:
         """Deliver one payload to the application at completion time."""
+        if self.obs.enabled:
+            self.obs.count(f"channel.{self.kind}.delivered")
+            sent_at = self._send_times.pop(data, None)
+            if sent_at is not None:
+                self.obs.observe(
+                    f"phase.{self.kind}.e2e", self.ctx.now() - sent_at
+                )
         self.ctx.effect(self.outputs.put, data)
         if self.on_output is not None:
             self.ctx.effect(self.on_output, data)

@@ -17,3 +17,4 @@ class ConsistentChannel(BroadcastChannel):
     """Aggregated consistent broadcast."""
 
     broadcast_cls = ConsistentBroadcast
+    kind = "consistent"

@@ -127,6 +127,8 @@ class OptimisticAtomicChannel(Channel):
     ``suspect_timeout`` is the liveness-only suspicion delay in seconds.
     """
 
+    kind = "optimistic"
+
     def __init__(
         self,
         ctx: Context,
@@ -159,7 +161,11 @@ class OptimisticAtomicChannel(Channel):
     # -- epoch state -------------------------------------------------------------
 
     def _reset_epoch_state(self) -> None:
+        if self.obs.enabled:
+            # Every epoch starts on the optimistic fast path.
+            self.obs.phase(self.obs_scope, "opt.optimistic")
         self._slots: Dict[int, _SlotState] = {}
+        self._slot_times: Dict[int, float] = {}
         self._next_deliver = 0  # contiguous delivered prefix within the epoch
         self._initiated: Dict[Tuple[int, int], Entry] = {}
         self._assigned: Set[Tuple[int, int]] = set()  # sequencer-side
@@ -243,6 +249,8 @@ class OptimisticAtomicChannel(Channel):
     def _send_complaint(self) -> None:
         if not self._complained:
             self._complained = True
+            if self.obs.enabled:
+                self.obs.count("opt.complaints")
             self.send_all(MSG_COMPLAIN, self.epoch)
 
     # -- message dispatch ----------------------------------------------------------------------
@@ -342,6 +350,9 @@ class OptimisticAtomicChannel(Channel):
         state.entries = entries
         state.digest = slot_digest(entries)
         state.prepared = True
+        if self.obs.enabled:
+            # Commit phase of slot s: proposal seen -> local delivery.
+            self._slot_times[s] = self.ctx.now()
         share = self.ctx.crypto.aba_signer.sign_share(
             prepare_string(self.pid, epoch, s, state.digest)
         )
@@ -453,6 +464,13 @@ class OptimisticAtomicChannel(Channel):
             state = self._slots.get(s)
             if state is None or state.commit_cert is None or state.entries is None:
                 return
+            if self.obs.enabled:
+                self.obs.count("opt.slots_delivered")
+                proposed_at = self._slot_times.pop(s, None)
+                if proposed_at is not None:
+                    self.obs.observe(
+                        "phase.opt.commit", self.ctx.now() - proposed_at
+                    )
             self._deliver_slot(state.entries)
             self._next_deliver += 1
             self.slots_delivered += 1
@@ -492,6 +510,11 @@ class OptimisticAtomicChannel(Channel):
         if self._wedged or self._terminated:
             return
         self._wedged = True
+        if self.obs.enabled:
+            self.obs.count("opt.recoveries")
+            # Fast path abandoned: time from here to the epoch's end is
+            # the recovery phase (wedge quorum + cut MVBA + fetches).
+            self.obs.phase(self.obs_scope, "opt.recovery")
         prefix = self._next_deliver
         if prefix > 0:
             last = self._slots[prefix - 1]

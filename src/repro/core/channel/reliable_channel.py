@@ -16,3 +16,4 @@ class ReliableChannel(BroadcastChannel):
     """Aggregated reliable broadcast."""
 
     broadcast_cls = ReliableBroadcast
+    kind = "reliable"

@@ -38,6 +38,8 @@ MSG_DEC_SHARE = "dec"
 class SecureAtomicChannel(AtomicChannel):
     """One party's endpoint of the secure causal atomic broadcast channel."""
 
+    kind = "secure"
+
     def __init__(self, ctx: Context, pid: str, **kwargs: Any):
         super().__init__(ctx, pid, **kwargs)
         #: ciphertexts in delivery order, exposed via receive_ciphertext()
@@ -48,6 +50,8 @@ class SecureAtomicChannel(AtomicChannel):
         self._plain: Dict[int, bytes] = {}
         self._next_release = 0
         self._sent_count = 0
+        #: ciphertext-delivery time per index, for the decrypt-phase lag
+        self._ctxt_times: Dict[int, float] = {}
 
     # -- encryption ------------------------------------------------------------------
 
@@ -76,6 +80,8 @@ class SecureAtomicChannel(AtomicChannel):
             encode(("sac-rng", self.pid, self.ctx.node_id, self._sent_count))
         )
         self._sent_count += 1
+        if self.obs.enabled:
+            self.obs.count("secure.encrypted")
         ctxt = self.encrypt(self.ctx.crypto.enc, self.pid, data, rng)
         self._enqueue_own(KIND_CIPHER, ctxt)
 
@@ -125,6 +131,11 @@ class SecureAtomicChannel(AtomicChannel):
             self._release_in_order()
             return
         self._pending_ctxt[index] = ctxt
+        if self.obs.enabled:
+            # The ciphertext's position is now fixed; the decrypt phase
+            # (share exchange until cleartext release) starts here.
+            self._ctxt_times[index] = self.ctx.now()
+            self.obs.count("secure.dec_shares_sent")
         self.ctx.effect(self.ciphertexts.put, data)
         share = self.ctx.crypto.enc_holder.decryption_share(ctxt)
         self.send_all(MSG_DEC_SHARE, (index, share))
@@ -156,6 +167,11 @@ class SecureAtomicChannel(AtomicChannel):
         if len(valid) < scheme.k:
             return
         self._plain[index] = scheme.combine(ctxt, valid)
+        if self.obs.enabled:
+            self.obs.count("secure.combined")
+            started = self._ctxt_times.pop(index, None)
+            if started is not None:
+                self.obs.observe("phase.secure.decrypt", self.ctx.now() - started)
         self._release_in_order()
 
     def _release_in_order(self) -> None:

@@ -36,12 +36,16 @@ MSG_ACK = "stab-ack"
 class StabilizedConsistentChannel(ConsistentChannel):
     """Consistent channel + the external stability mechanism."""
 
+    kind = "stab-consistent"
+
     def __init__(self, ctx: Context, pid: str, max_pending: Optional[int] = None):
         super().__init__(ctx, pid, max_pending=max_pending)
         #: the stable (agreed-delivered) output stream
         self.stable_outputs = ctx.new_queue()
         #: (sender, seq) -> payload, held until stability
         self._held: Dict[Tuple[int, int], bytes] = {}
+        #: raw-delivery time per held slot, for the stability-lag phase
+        self._held_since: Dict[Tuple[int, int], float] = {}
         #: acker -> per-sender delivered counts (cumulative vector)
         self._ack_vectors: Dict[int, Dict[int, int]] = {}
         #: next slot per sender to be released as stable
@@ -57,6 +61,8 @@ class StabilizedConsistentChannel(ConsistentChannel):
         super()._on_instance_delivered(bc, payload)
         if len(self.deliveries) > before:  # an app payload was delivered
             self._held[(sender, seq)] = self.deliveries[-1][1]
+            if self.obs.enabled:
+                self._held_since[(sender, seq)] = self.ctx.now()
         if not self._terminated:
             # gossip the updated cumulative vector (covers close markers too)
             vector = [self._seq[j] for j in range(self.ctx.n)]
@@ -75,6 +81,8 @@ class StabilizedConsistentChannel(ConsistentChannel):
             return
         if not all(isinstance(v, int) and v >= 0 for v in payload):
             return
+        if self.obs.enabled:
+            self.obs.count("stab.acks")
         current = self._ack_vectors.setdefault(sender, {j: 0 for j in range(self.ctx.n)})
         for j, count in enumerate(payload):
             # vectors are cumulative: only monotone progress counts
@@ -102,6 +110,15 @@ class StabilizedConsistentChannel(ConsistentChannel):
                 self._stable_next[sender] = seq + 1
                 payload = self._held.pop((sender, seq), None)
                 if payload is not None:
+                    if self.obs.enabled:
+                        self.obs.count("stab.stable_deliveries")
+                        held_at = self._held_since.pop((sender, seq), None)
+                        if held_at is not None:
+                            # Delivery-to-stability lag: the price of the
+                            # external agreement the paper describes.
+                            self.obs.observe(
+                                "phase.stab.lag", self.ctx.now() - held_at
+                            )
                     self.stable_deliveries.append((sender, payload))
                     self.ctx.effect(self.stable_outputs.put, payload)
                 changed = True

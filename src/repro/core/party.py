@@ -48,6 +48,15 @@ class Party:
     def t(self) -> int:
         return self.ctx.t
 
+    @property
+    def obs(self):
+        """The runtime's observability recorder (no-op unless enabled).
+
+        Every protocol this party creates records into it; applications
+        can add their own counters/spans under an ``app.*`` prefix.
+        """
+        return self.ctx.obs
+
     # -- broadcast primitives ---------------------------------------------------
 
     def reliable_broadcast(self, basepid: str, sender: int) -> ReliableBroadcast:

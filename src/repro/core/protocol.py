@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import abc
 import logging
-from typing import Any, Callable, Dict, List, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import ProtocolError, ReproError
 from repro.crypto.dealer import PartyCrypto
+from repro.obs.recorder import NULL as NULL_RECORDER
+from repro.obs.recorder import Recorder
 
 logger = logging.getLogger("repro.core")
 
@@ -35,6 +37,9 @@ class Context(abc.ABC):
         n, t: group size and fault threshold.
         crypto: this party's :class:`PartyCrypto` bundle.
         router: the party's message :class:`Router`.
+        obs: the runtime's :class:`~repro.obs.recorder.Recorder`
+            (the no-op :data:`~repro.obs.recorder.NULL` by default, so
+            direct-drive unit tests need no setup).
     """
 
     node_id: int
@@ -42,6 +47,7 @@ class Context(abc.ABC):
     t: int
     crypto: PartyCrypto
     router: "Router"
+    obs: Recorder = NULL_RECORDER
 
     @abc.abstractmethod
     def send(self, dst: int, pid: str, mtype: str, payload: Any) -> None:
@@ -128,7 +134,8 @@ class Router:
     in :attr:`errors` so honest-run tests can assert none occurred.
     """
 
-    def __init__(self, buffer_limit: int = 100_000):
+    def __init__(self, buffer_limit: int = 100_000, recorder: Optional[Recorder] = None):
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self._instances: Dict[str, "Protocol"] = {}
         self._buffers: Dict[str, List[Tuple[int, str, Any]]] = {}
         self._tombstones: Set[str] = set()
@@ -192,12 +199,18 @@ class Router:
                 return
         if self._buffered_count >= self._buffer_limit:
             self.dropped += 1
+            if self.obs.enabled:
+                self.obs.count("router.dropped")
             logger.warning("router buffer full; dropping message for %s", pid)
             return
         self._buffers.setdefault(pid, []).append((sender, mtype, payload))
         self._buffered_count += 1
+        if self.obs.enabled:
+            self.obs.count("router.buffered")
 
     def _invoke(self, protocol: "Protocol", sender: int, mtype: str, payload: Any) -> None:
+        if self.obs.enabled:
+            self.obs.count("router.dispatched")
         for obs in self.observers:
             obs(sender, protocol.pid, mtype, payload)
         try:
@@ -205,6 +218,8 @@ class Router:
         except (ReproError, TypeError, ValueError, KeyError, IndexError) as exc:
             # Malformed or malicious input: contain, record, continue.
             self.errors.append((protocol.pid, sender, exc))
+            if self.obs.enabled:
+                self.obs.count("router.handler_errors")
             logger.debug(
                 "handler error in %s for %r from %d: %r",
                 protocol.pid, mtype, sender, exc,
@@ -222,6 +237,10 @@ class Protocol:
         self.ctx = ctx
         self.pid = pid
         self.halted = False
+        #: the runtime's recorder; per-instance phase timings use
+        #: :attr:`obs_scope` so parties sharing a recorder never collide.
+        self.obs = ctx.obs
+        self.obs_scope = (ctx.node_id, pid)
         ctx.router.register(self)
 
     # -- messaging helpers (named to avoid clashing with the paper's

@@ -65,6 +65,14 @@ class OpCounter:
         """Work rescaled to a key size ``ratio`` times the actual one."""
         return ratio ** 3 * self.units_full + ratio ** 2 * self.units_short
 
+    def as_dict(self) -> dict:
+        """Serializable view (used by the benchmark export pipeline)."""
+        return {
+            "ops": self.ops,
+            "units_full": self.units_full,
+            "units_short": self.units_short,
+        }
+
 
 _stack: List[OpCounter] = []
 
@@ -90,6 +98,20 @@ def record(modbits: int, expbits: int) -> None:
 def active() -> Optional[OpCounter]:
     """The currently active counter, or ``None``."""
     return _stack[-1] if _stack else None
+
+
+def charge(recorder, counter: OpCounter, prefix: str = "crypto") -> None:
+    """Charge a handler's recorded crypto work to an observability recorder.
+
+    Feeds the unified counter registry of :mod:`repro.obs`: total
+    exponentiations and work units, split by the full/short exponent
+    buckets the cost model scales differently.  Call sites guard on
+    ``recorder.enabled``; the call is also a no-op for empty counters.
+    """
+    if counter.ops:
+        recorder.count(prefix + ".modexp", counter.ops)
+        recorder.count(prefix + ".units_full", counter.units_full)
+        recorder.count(prefix + ".units_short", counter.units_short)
 
 
 class counting:

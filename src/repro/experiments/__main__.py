@@ -7,6 +7,13 @@ Regenerates the paper's tables and figures from the terminal::
     python -m repro.experiments fig5 fig6
     python -m repro.experiments all --messages 60
 
+Every run records into :mod:`repro.obs` and exports one machine-readable
+``BENCH_<name>.json`` per experiment into ``--bench-dir`` (default: the
+current directory; ``--bench-dir ''`` disables exporting).  A directory
+of exported records is re-rendered with::
+
+    python -m repro.experiments report --bench-dir runs/
+
 The same experiments run as shape-asserting benchmarks under
 ``pytest benchmarks/ --benchmark-only``; this entry point is for
 interactive exploration and for reproducing EXPERIMENTS.md by hand.
@@ -20,11 +27,29 @@ import time
 
 from repro.crypto.params import SecurityParams
 from repro.experiments import report
-from repro.experiments.runner import run_channel_experiment
+from repro.experiments.runner import export_result, run_channel_experiment
 from repro.experiments.setups import HYBRID_SETUP, INTERNET_SETUP, LAN_SETUP
 from repro.net.latency import FIG3_RTT_MS, INTERNET_SITE_NAMES
+from repro.obs.recorder import MemoryRecorder
 
-EXPERIMENTS = ("fig3", "table1", "fig4", "fig5", "fig6", "all")
+EXPERIMENTS = ("fig3", "table1", "fig4", "fig5", "fig6", "all", "report")
+
+
+def _run(args: argparse.Namespace, setup, channel, senders, messages,
+         *, name: str, experiment: str, **kwargs):
+    """One recorded experiment run, exported as ``BENCH_<name>.json``."""
+    recorder = MemoryRecorder()
+    result = run_channel_experiment(
+        setup, channel, senders=senders, messages=messages,
+        seed=args.seed, recorder=recorder, **kwargs,
+    )
+    path = export_result(
+        result, recorder, name=name, experiment=experiment,
+        meta={"seed": args.seed}, bench_dir=args.bench_dir or None,
+    )
+    if path:
+        print(f"  wrote {path}", file=sys.stderr)
+    return result
 
 
 def cmd_fig3(args: argparse.Namespace) -> None:
@@ -42,9 +67,10 @@ def cmd_table1(args: argparse.Namespace) -> None:
         scale = 0.5 if setup.n == 7 else 1.0
         for channel in ("atomic", "secure", "reliable", "consistent"):
             t0 = time.time()
-            result = run_channel_experiment(
-                setup, channel, senders=[0],
-                messages=max(6, int(args.messages * scale)), seed=args.seed,
+            result = _run(
+                args, setup, channel, [0],
+                max(6, int(args.messages * scale)),
+                name=f"table1-{setup.name}-{channel}", experiment="table1",
             )
             measured[(setup.name, channel)] = result.mean_delivery_s
             print(
@@ -56,10 +82,11 @@ def cmd_table1(args: argparse.Namespace) -> None:
     print(report.table1_report(measured))
 
 
-def _figure_run(setup, senders, names, args) -> None:
-    result = run_channel_experiment(
-        setup, "atomic", senders=senders,
-        messages=max(len(senders) * 6, args.messages), seed=args.seed,
+def _figure_run(setup, senders, names, args, *, figure: str) -> None:
+    result = _run(
+        args, setup, "atomic", senders,
+        max(len(senders) * 6, args.messages),
+        name=f"{figure}-{setup.name}", experiment=figure,
     )
     print(f"{result.count} deliveries in {result.sim_seconds:.1f}s simulated; "
           f"mean {result.mean_delivery_s:.2f}s/delivery")
@@ -73,12 +100,14 @@ def _figure_run(setup, senders, names, args) -> None:
 
 def cmd_fig4(args: argparse.Namespace) -> None:
     print("Figure 4 — AtomicChannel on the LAN, senders P0/P2/P3:")
-    _figure_run(LAN_SETUP, [0, 2, 3], ["P0/Linux", "P1", "P2/AIX", "P3/Win2k"], args)
+    _figure_run(LAN_SETUP, [0, 2, 3], ["P0/Linux", "P1", "P2/AIX", "P3/Win2k"],
+                args, figure="fig4")
 
 
 def cmd_fig5(args: argparse.Namespace) -> None:
     print("Figure 5 — AtomicChannel on the Internet, senders Zurich/Tokyo/NY:")
-    _figure_run(INTERNET_SETUP, [0, 1, 2], list(INTERNET_SITE_NAMES), args)
+    _figure_run(INTERNET_SETUP, [0, 1, 2], list(INTERNET_SITE_NAMES),
+                args, figure="fig5")
 
 
 def cmd_fig6(args: argparse.Namespace) -> None:
@@ -90,15 +119,20 @@ def cmd_fig6(args: argparse.Namespace) -> None:
             row = [f"{setup.name} {label}"]
             for ks in key_sizes:
                 sec = SecurityParams(sig_modbits=256, dl_bits=256, nominal_bits=ks)
-                result = run_channel_experiment(
-                    setup, "atomic", senders=[0],
-                    messages=max(6, args.messages // 3),
-                    sig_mode=mode, security=sec, seed=args.seed,
+                result = _run(
+                    args, setup, "atomic", [0],
+                    max(6, args.messages // 3),
+                    name=f"fig6-{setup.name}-{label}-{ks}b", experiment="fig6",
+                    sig_mode=mode, security=sec,
                 )
                 row.append(result.mean_delivery_s)
                 print(f"  ran {setup.name}/{label}/{ks}b", file=sys.stderr)
             rows.append(row)
     print(report.format_table(["series"] + [str(k) for k in key_sizes], rows))
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    print(report.run_dir_report(args.bench_dir or "."))
 
 
 def main(argv=None) -> int:
@@ -107,10 +141,14 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument("experiments", nargs="+", choices=EXPERIMENTS,
-                        help="which experiments to run")
+                        help="which experiments to run (or 'report' to "
+                             "re-render an exported run directory)")
     parser.add_argument("--messages", type=int, default=24,
                         help="messages per experiment (paper: 500-1000)")
     parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--bench-dir", default=".",
+                        help="directory for BENCH_*.json exports "
+                             "(default: current directory; '' disables)")
     args = parser.parse_args(argv)
 
     chosen = list(args.experiments)
@@ -118,7 +156,7 @@ def main(argv=None) -> int:
         chosen = ["fig3", "table1", "fig4", "fig5", "fig6"]
     handlers = {
         "fig3": cmd_fig3, "table1": cmd_table1, "fig4": cmd_fig4,
-        "fig5": cmd_fig5, "fig6": cmd_fig6,
+        "fig5": cmd_fig5, "fig6": cmd_fig6, "report": cmd_report,
     }
     for name in chosen:
         handlers[name](args)

@@ -8,7 +8,10 @@ outcomes).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import export as obs_export
 
 #: Table 1 of the paper: average delivery times in seconds.
 PAPER_TABLE1 = {
@@ -116,6 +119,129 @@ def band_fractions(
 def ratio(a: float, b: float) -> float:
     """Safe ratio for shape assertions."""
     return a / b if b else float("inf")
+
+
+# -- run-directory reports -----------------------------------------------------
+#
+# ``python -m repro.experiments`` exports one ``BENCH_*.json`` per run; the
+# ``report`` subcommand re-renders a directory of them.  Loading is
+# deliberately tolerant: a missing directory, a half-finished run or a
+# corrupt record must degrade to a report that *names* what was skipped,
+# never to a traceback — partial run directories are the common case when
+# a run was interrupted.
+
+#: figures a run directory may contain, in presentation order
+RUN_FIGURES = ("table1", "fig4", "fig5", "fig6")
+
+
+def load_run_dir(path: str) -> Tuple[Dict[str, Dict[str, Any]], List[str]]:
+    """Load every readable ``BENCH_*.json`` under ``path``.
+
+    Returns ``(records, problems)``: records keyed by bench name, and a
+    list of human-readable notes for everything that could not be loaded
+    (missing directory, malformed files).  Never raises.
+    """
+    problems: List[str] = []
+    if not os.path.isdir(path):
+        return {}, [f"run directory {path!r} does not exist"]
+    records: Dict[str, Dict[str, Any]] = {}
+    found = False
+    for entry in sorted(os.listdir(path)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        found = True
+        try:
+            records.update(obs_export.load_source(os.path.join(path, entry)))
+        except ValueError as exc:
+            problems.append(f"skipped {entry}: {exc}")
+    if not found:
+        problems.append(f"run directory {path!r} contains no BENCH_*.json files")
+    return records, problems
+
+
+def _records_for(records: Dict[str, Dict[str, Any]], experiment: str):
+    return {
+        name: rec for name, rec in records.items()
+        if rec.get("experiment") == experiment
+    }
+
+
+def _figure_rows(records: Dict[str, Dict[str, Any]]) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for name in sorted(records):
+        metrics = records[name].get("metrics", {})
+        rows.append([
+            name,
+            int(metrics.get("deliveries", 0)),
+            metrics.get("sim_seconds", float("nan")),
+            metrics.get("mean_delivery_s", float("nan")),
+            metrics.get("messages_sent", float("nan")),
+        ])
+    return rows
+
+
+def run_dir_report(path: str) -> str:
+    """Render a human-readable report of one exported run directory.
+
+    Figures without records are reported as skipped (with the reason)
+    rather than failing the whole report.
+    """
+    records, problems = load_run_dir(path)
+    lines: List[str] = [f"Run report: {path}"]
+    for note in problems:
+        lines.append(f"  note: {note}")
+    lines.append("")
+
+    skipped: List[str] = []
+    table1 = _records_for(records, "table1")
+    if table1:
+        measured = {}
+        for rec in table1.values():
+            meta = rec.get("meta", {})
+            key = (meta.get("setup"), meta.get("channel"))
+            measured[key] = rec.get("metrics", {}).get(
+                "mean_delivery_s", float("nan")
+            )
+        expected = len(TABLE1_SETUPS) * len(TABLE1_CHANNELS)
+        if len(measured) < expected:
+            lines.append(
+                f"  note: table1 is partial "
+                f"({len(measured)}/{expected} cells present)"
+            )
+        lines.append(table1_report(measured))
+        lines.append("")
+    else:
+        skipped.append("table1")
+
+    for figure in RUN_FIGURES[1:]:
+        figure_records = _records_for(records, figure)
+        if not figure_records:
+            skipped.append(figure)
+            continue
+        lines.append(f"{figure}:")
+        lines.append(format_table(
+            ["bench", "deliveries", "sim (s)", "mean (s)", "messages"],
+            _figure_rows(figure_records),
+        ))
+        lines.append("")
+
+    other = {
+        name: rec for name, rec in records.items()
+        if rec.get("experiment") not in RUN_FIGURES
+    }
+    if other:
+        lines.append("other benches:")
+        lines.append(format_table(
+            ["bench", "deliveries", "sim (s)", "mean (s)", "messages"],
+            _figure_rows(other),
+        ))
+        lines.append("")
+
+    if skipped:
+        lines.append(
+            "skipped figures (no records in this run dir): " + ", ".join(skipped)
+        )
+    return "\n".join(lines).rstrip() + "\n"
 
 
 def text_scatter(

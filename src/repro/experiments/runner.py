@@ -8,14 +8,17 @@ two messages is measured on a recipient.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.core.party import make_parties
 from repro.crypto.dealer import SIG_MODE_MULTI, fast_group
 from repro.crypto.params import SecurityParams
 from repro.net.runtime import SimRuntime
+from repro.obs import export as obs_export
+from repro.obs.recorder import Recorder
 from repro.experiments.setups import Setup
 
 CHANNEL_ATOMIC = "atomic"
@@ -52,6 +55,8 @@ class ExperimentResult:
     sim_seconds: float = 0.0
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: host wall-clock time of the run (machine-dependent; never CI-gated)
+    wall_seconds: float = 0.0
 
     @property
     def count(self) -> int:
@@ -109,18 +114,27 @@ def run_channel_experiment(
     security: Optional[SecurityParams] = None,
     seed: object = 0,
     time_limit: float = 50_000.0,
+    recorder: Optional[Recorder] = None,
 ) -> ExperimentResult:
     """Run one experiment and return the recipient's delivery timings.
 
     ``messages`` is the total number of payloads, split evenly over
-    ``senders``; timing is observed on ``setup.measure_at``.
+    ``senders``; timing is observed on ``setup.measure_at``.  When a
+    ``recorder`` is given, the whole stack records into it (phase
+    durations on the simulated clock) and per-node CPU gauges are set at
+    the end of the run.
     """
+    wall_start = time.perf_counter()
     security = security or SecurityParams.small()
     group = fast_group(
         setup.n, setup.t, security, sig_mode=sig_mode, seed=("exp", seed)
     )
     rt = SimRuntime(
-        group, latency=setup.latency(), hosts=setup.hosts, seed=("exp", seed)
+        group,
+        latency=setup.latency(),
+        hosts=setup.hosts,
+        seed=("exp", seed),
+        recorder=recorder,
     )
     parties = make_parties(rt)
     channels = [make_channel(p, channel, f"exp-{channel}") for p in parties]
@@ -146,7 +160,80 @@ def run_channel_experiment(
     result.sim_seconds = rt.now
     result.messages_sent = rt.messages_sent
     result.bytes_sent = rt.bytes_sent
+    result.wall_seconds = time.perf_counter() - wall_start
+    if rt.obs.enabled:
+        for node in rt.nodes:
+            rt.obs.set_gauge(f"node.{node.node_id}.cpu_s", node.cpu_seconds)
     errors = rt.router_errors()
     if errors:
         raise ConfigError(f"honest run produced handler errors: {errors[:3]}")
     return result
+
+
+# -- benchmark export ----------------------------------------------------------
+
+
+def result_metrics(result: ExperimentResult) -> Dict[str, float]:
+    """The scalar metrics a run contributes to its ``BENCH_*.json``.
+
+    Everything except ``wall_seconds`` is simulator-derived and therefore
+    deterministic for a pinned seed — which is what the CI perf gate
+    diffs (:data:`repro.obs.export.UNGATED_METRICS` excludes the rest).
+    """
+    return {
+        "sim_seconds": result.sim_seconds,
+        "mean_delivery_s": result.mean_delivery_s,
+        "deliveries": float(result.count),
+        "messages_sent": float(result.messages_sent),
+        "bytes_sent": float(result.bytes_sent),
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def bench_record(
+    result: ExperimentResult,
+    recorder: Optional[Recorder],
+    *,
+    name: str,
+    experiment: str,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the benchmark record for one finished run."""
+    full_meta: Dict[str, Any] = {
+        "setup": result.setup,
+        "channel": result.channel,
+        "senders": list(result.senders),
+        "messages": result.messages,
+    }
+    full_meta.update(meta or {})
+    return obs_export.make_record(
+        name,
+        experiment=experiment,
+        meta=full_meta,
+        metrics=result_metrics(result),
+        recorder=recorder,
+    )
+
+
+def export_result(
+    result: ExperimentResult,
+    recorder: Optional[Recorder],
+    *,
+    name: str,
+    experiment: str,
+    meta: Optional[Mapping[str, Any]] = None,
+    bench_dir: Optional[str] = None,
+) -> Optional[str]:
+    """Write ``BENCH_<name>.json`` for a run, if an export dir is set.
+
+    ``bench_dir`` wins; otherwise the ``REPRO_BENCH_DIR`` environment
+    variable is consulted.  Returns the written path, or ``None`` when
+    exporting is not configured.
+    """
+    directory = bench_dir if bench_dir is not None else obs_export.bench_dir_from_env()
+    if directory is None:
+        return None
+    record = bench_record(
+        result, recorder, name=name, experiment=experiment, meta=meta
+    )
+    return obs_export.write_record(directory, record)

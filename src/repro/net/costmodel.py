@@ -62,6 +62,23 @@ class CostModel:
         units = counter.scaled_units(op_scale)
         return (self.host.exp_ms / 1000.0) * units / UNITS_PER_EXP_1024
 
+    def charge(self, recorder, counter: OpCounter, op_scale: float = 1.0) -> float:
+        """Like :meth:`seconds`, but also charges the work to ``recorder``.
+
+        Records the modelled CPU time of this handler's public-key
+        arithmetic into the ``cpu.crypto_s`` histogram and accumulates the
+        op counts (via :func:`repro.crypto.opcount.charge`), so a
+        benchmark export shows both *how many* exponentiations each run
+        performed and *where* the simulated CPU time went.
+        """
+        from repro.crypto.opcount import charge as charge_ops
+
+        seconds = self.seconds(counter, op_scale)
+        charge_ops(recorder, counter)
+        if seconds:
+            recorder.observe("cpu.crypto_s", seconds)
+        return seconds
+
 
 # --- The paper's hosts (Sec. 4 hardware tables) --------------------------------
 

@@ -29,6 +29,8 @@ from repro.net.faults import FaultPlan
 from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.message import unpack_body, pack_body
 from repro.net.sim import SimFuture, SimNode, SimQueue, Simulator
+from repro.obs.recorder import NULL as NULL_RECORDER
+from repro.obs.recorder import Recorder
 
 #: Default per-message handling overhead (seconds) when a host spec does not
 #: provide one; covers serialization, MAC and bookkeeping.
@@ -46,6 +48,7 @@ class SimContext(Context):
         self.crypto = runtime.group.party(node_id)
         self.router = runtime.routers[node_id]
         self.node = runtime.nodes[node_id]
+        self.obs = runtime.obs
 
     # -- messaging ------------------------------------------------------------
 
@@ -116,11 +119,18 @@ class SimRuntime:
         overhead_s: Optional[float] = None,
         model_crypto_cost: bool = True,
         trace: bool = False,
+        recorder: Optional[Recorder] = None,
     ):
         self.group = group
         self.latency = latency or UniformLatency()
         self.sim = Simulator(seed=seed)
         self.faults = faults or FaultPlan()
+        #: observability recorder shared by all parties; spans and phase
+        #: durations are measured on the *simulated* clock, so a recorded
+        #: run is exactly as deterministic as an unrecorded one.
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        if recorder is not None:
+            recorder.bind_clock(lambda: self.sim.now)
         n = group.n
         if hosts is not None and len(hosts) < n:
             raise ReproError(f"need at least {n} host specs, got {len(hosts)}")
@@ -141,9 +151,10 @@ class SimRuntime:
                     cost_model=cost_model,
                     overhead_s=node_overhead,
                     op_scale=op_scale,
+                    recorder=self.obs,
                 )
             )
-        self.routers = [Router() for _ in range(n)]
+        self.routers = [Router(recorder=self.obs) for _ in range(n)]
         self.contexts = [SimContext(self, i) for i in range(n)]
         #: dedicated RNG stream for the fault plan, derived from the root
         #: seed: fault draws never perturb latency sampling (which stays on
@@ -184,6 +195,10 @@ class SimRuntime:
         key = (pid, mtype)
         self.protocol_messages[key] = self.protocol_messages.get(key, 0) + 1
         self.protocol_bytes[pid] = self.protocol_bytes.get(pid, 0) + nbytes
+        if self.obs.enabled:
+            self.obs.count("net.messages")
+            self.obs.count("net.bytes", nbytes)
+            self.obs.count(f"net.msg.{mtype}")
         if self.trace is not None:
             self.trace.append((self.sim.now, sender, pid, mtype, nbytes))
 
@@ -264,6 +279,8 @@ class SimRuntime:
             msg = unpack_body(sender, body)
         except (ReproError, TransportError):
             self.auth_failures += 1
+            if self.obs.enabled:
+                self.obs.count("net.auth_failures")
             return
         self.routers[dst].dispatch(msg.sender, msg.pid, msg.mtype, msg.payload)
         for cb in self.delivery_listeners:

@@ -26,6 +26,7 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 from repro.common import rng as rng_mod
 from repro.common.errors import ReproError
 from repro.crypto import opcount
+from repro.obs.recorder import NULL as _NULL_RECORDER
 
 
 class SimError(ReproError):
@@ -258,12 +259,14 @@ class SimNode:
         cost_model: Optional[object] = None,
         overhead_s: float = 0.0,
         op_scale: float = 1.0,
+        recorder: Optional[object] = None,
     ):
         self.sim = sim
         self.node_id = node_id
         self.cost_model = cost_model
         self.overhead_s = overhead_s
         self.op_scale = op_scale
+        self.obs = recorder if recorder is not None else _NULL_RECORDER
         self.busy_until = 0.0
         self.cpu_seconds = 0.0
         self._outbox: Optional[List[Tuple[Any, ...]]] = None
@@ -308,7 +311,14 @@ class SimNode:
             effects, self._effects = self._effects, outer_effects
         duration = self.overhead_s
         if self.cost_model is not None:
-            duration += self.cost_model.seconds(counter, self.op_scale)
+            if self.obs.enabled:
+                duration += self.cost_model.charge(self.obs, counter, self.op_scale)
+            else:
+                duration += self.cost_model.seconds(counter, self.op_scale)
+        elif self.obs.enabled:
+            opcount.charge(self.obs, counter)
+        if self.obs.enabled:
+            self.obs.observe("cpu.handler_s", duration)
         end = start + duration
         self.busy_until = end
         self.cpu_seconds += duration

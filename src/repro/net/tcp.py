@@ -72,6 +72,7 @@ from repro.crypto.dealer import GroupConfig
 from repro.net import links
 from repro.net.failure_detector import FailureDetector
 from repro.net.message import pack_body, unpack_body
+from repro.obs.recorder import NULL as NULL_RECORDER, Recorder
 from repro.net.sliding_window import (
     KIND_ACK,
     KIND_DATA,
@@ -248,7 +249,8 @@ class TcpContext(Context):
         self.n = node.group.n
         self.t = node.group.t
         self.crypto = node.group.party(node.index)
-        self.router = Router()
+        self.obs = node.obs
+        self.router = Router(recorder=node.obs)
         self._node = node
 
     def send(self, dst: int, pid: str, mtype: str, payload: Any) -> None:
@@ -314,6 +316,7 @@ class TcpNode:
         down_after: float = 6.0,
         max_backlog: int = 4096,
         outbox_limit: int = 8192,
+        recorder: Optional[Recorder] = None,
     ):
         if len(endpoints) != group.n:
             raise TransportError("need one endpoint per party")
@@ -331,6 +334,7 @@ class TcpNode:
         self.down_after = down_after
         self.max_backlog = max_backlog
         self.outbox_limit = outbox_limit
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self.ctx = TcpContext(self)
         self.failure_detector: Optional[FailureDetector] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -362,6 +366,9 @@ class TcpNode:
     async def start(self) -> None:
         """Listen on the local endpoint and supervise one link per peer."""
         loop = asyncio.get_running_loop()
+        if self.obs.enabled:
+            # Wall-clock runtime: durations come from the event loop clock.
+            self.obs.bind_clock(loop.time)
         peers = [p for p in range(self.group.n) if p != self.index]
         self.failure_detector = FailureDetector(
             peers, self.suspect_after, self.down_after, now=loop.time()
@@ -400,6 +407,9 @@ class TcpNode:
     # -- sending ----------------------------------------------------------------
 
     def send_frame(self, dst: int, frame: bytes) -> None:
+        if self.obs.enabled:
+            self.obs.count("tcp.frames_sent")
+            self.obs.count("tcp.bytes_sent", len(frame))
         if dst == self.index:
             # Local loop: deliver asynchronously like any other message.
             asyncio.get_running_loop().call_soon(self._deliver, frame)
@@ -637,8 +647,12 @@ class TcpNode:
             msg = unpack_body(sender, body)
         except (ReproError, TransportError):
             self.auth_failures += 1
+            if self.obs.enabled:
+                self.obs.count("tcp.auth_failures")
             return
         self.frames_received += 1
+        if self.obs.enabled:
+            self.obs.count("tcp.frames_received")
         self.ctx.router.dispatch(msg.sender, msg.pid, msg.mtype, msg.payload)
 
     # -- observability -----------------------------------------------------------
@@ -667,7 +681,7 @@ class TcpNode:
     def stats(self) -> Dict[str, Any]:
         """Aggregate counters plus the per-peer breakdown."""
         per_peer = {peer: self.link_stats(peer) for peer in sorted(self._links)}
-        return {
+        aggregate = {
             "frames_received": self.frames_received,
             "auth_failures": self.auth_failures,
             "reconnects": sum(s.reconnects for s in per_peer.values()),
@@ -676,12 +690,46 @@ class TcpNode:
             "overflow_dropped": sum(s.overflow_dropped for s in per_peer.values()),
             "peers": per_peer,
         }
+        self.publish_obs(per_peer)
+        return aggregate
+
+    def publish_obs(self, per_peer: Optional[Dict[int, LinkStats]] = None) -> None:
+        """Mirror the link/failure-detector counters into the recorder.
+
+        Gauges are named ``tcp.link.<field>`` (aggregated across peers) and
+        ``tcp.peer.<peer>.state`` so the TCP runtime's health shows up in
+        the same registry (and BENCH export) as the protocol metrics.
+        """
+        if not self.obs.enabled:
+            return
+        if per_peer is None:
+            per_peer = {peer: self.link_stats(peer) for peer in sorted(self._links)}
+        stats = list(per_peer.values())
+        self.obs.set_gauge("tcp.link.reconnects", sum(s.reconnects for s in stats))
+        self.obs.set_gauge(
+            "tcp.link.retransmissions", sum(s.retransmissions for s in stats)
+        )
+        self.obs.set_gauge("tcp.link.backlog", sum(s.backlog for s in stats))
+        self.obs.set_gauge(
+            "tcp.link.overflow_dropped", sum(s.overflow_dropped for s in stats)
+        )
+        self.obs.set_gauge(
+            "tcp.link.auth_failures", sum(s.auth_failures for s in stats)
+        )
+        self.obs.set_gauge("tcp.link.duplicates", sum(s.duplicates for s in stats))
+        self.obs.set_gauge("tcp.link.heartbeats", sum(s.heartbeats for s in stats))
+        for peer, link_stats in per_peer.items():
+            self.obs.set_gauge(f"tcp.peer.{peer}.state", link_stats.state)
 
     def peer_states(self) -> Dict[int, str]:
         """Failure-detector classification of every peer, right now."""
         if self.failure_detector is None:
             return {}
-        return self.failure_detector.states(asyncio.get_running_loop().time())
+        states = self.failure_detector.states(asyncio.get_running_loop().time())
+        if self.obs.enabled:
+            for peer, state in states.items():
+                self.obs.set_gauge(f"tcp.peer.{peer}.state", state)
+        return states
 
 
 def local_endpoints(

@@ -1,0 +1,49 @@
+"""repro.obs — lightweight observability for the SINTRA reproduction.
+
+Span-style tracing (simulated-time aware), named counters and latency
+histograms behind a pluggable :class:`Recorder`, plus the
+``BENCH_*.json`` export pipeline and the ``python -m repro.obs.report``
+CLI that summarizes and diffs benchmark artifacts (the CI perf gate).
+
+The default recorder is :data:`NULL` — a no-op whose cost at every
+instrumented call site is a single ``obs.enabled`` attribute check.  Pass
+a :class:`MemoryRecorder` to a runtime (``SimRuntime(...,
+recorder=MemoryRecorder())`` or ``TcpNode(..., recorder=...)``) to turn
+measurement on.  See docs/OBSERVABILITY.md for the naming conventions.
+"""
+
+from repro.obs.export import (
+    BENCH_DIR_ENV,
+    bench_dir_from_env,
+    combine,
+    load_source,
+    make_record,
+    safe_name,
+    validate_record,
+    write_record,
+)
+from repro.obs.recorder import (
+    NULL,
+    Histogram,
+    MemoryRecorder,
+    NullRecorder,
+    Recorder,
+    Span,
+)
+
+__all__ = [
+    "BENCH_DIR_ENV",
+    "Histogram",
+    "MemoryRecorder",
+    "NULL",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "bench_dir_from_env",
+    "combine",
+    "load_source",
+    "make_record",
+    "safe_name",
+    "validate_record",
+    "write_record",
+]

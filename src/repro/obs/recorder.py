@@ -1,0 +1,299 @@
+"""Recorders: the measurement substrate of :mod:`repro.obs`.
+
+Design constraints (see docs/OBSERVABILITY.md):
+
+* **Zero-dependency and near-zero disabled cost.**  The default recorder
+  is a :class:`NullRecorder` whose methods are no-ops and whose
+  :attr:`~Recorder.enabled` flag is ``False``; every hot-path call site
+  guards with ``if obs.enabled:`` so a disabled run performs exactly one
+  attribute load per potential measurement — nothing is allocated,
+  formatted or stored.
+
+* **Clock-agnostic.**  A recorder measures against whatever clock it is
+  bound to: the discrete-event simulator binds its virtual clock (so
+  spans and phase durations are *simulated* seconds, deterministic and
+  seed-reproducible), while the asyncio/TCP runtime binds the event
+  loop's wall clock.  Until a runtime binds a clock,
+  :func:`time.perf_counter` is used.
+
+* **Three instrument kinds.**
+  - *counters* — monotonically accumulated ``float`` values
+    (``count(name, delta)``), plus *gauges* (``set_gauge``) for
+    last-write-wins values such as the TCP link statistics;
+  - *histograms* — latency/size distributions with percentile summaries
+    (``observe(name, value)``);
+  - *spans and phases* — time intervals.  ``span(name)`` is a context
+    manager for lexically scoped intervals (nesting tracked); protocol
+    code, which is event-driven and has no lexical scope across
+    messages, uses the *phase* API instead: ``phase(scope, name)``
+    declares that ``scope`` (conventionally ``(node_id, pid)``) has just
+    entered ``name``, closing the previous phase of that scope into the
+    histogram ``phase.<previous name>``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+
+class Histogram:
+    """A latency/size distribution with percentile summaries.
+
+    Values are kept in full (experiment runs are small); ``summary()``
+    reduces them to the fields exported in ``BENCH_*.json``.
+    """
+
+    __slots__ = ("values", "total")
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        data = sorted(self.values)
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if not self.values:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": len(self.values),
+            "total": self.total,
+            "mean": self.mean,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class Span:
+    """One recorded interval; ``end`` is ``None`` while still open."""
+
+    __slots__ = ("name", "start", "end", "depth", "parent", "attrs")
+
+    def __init__(self, name: str, start: float, depth: int,
+                 parent: Optional[int], attrs: Dict[str, Any]):
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.depth = depth
+        self.parent = parent  # index of the enclosing span, or None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, start={self.start:.6f}, "
+                f"end={self.end}, depth={self.depth})")
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """No-op base recorder: the API surface, with every method a no-op.
+
+    Hot paths guard on :attr:`enabled`, so with the default recorder the
+    whole observability layer costs one attribute check per site.
+    """
+
+    #: call sites skip measurement work entirely when this is False
+    enabled: bool = False
+    #: time source; runtimes bind their own via :meth:`bind_clock`
+    clock: Optional[Callable[[], float]] = None
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Bind a time source if none is bound yet (first runtime wins)."""
+        if self.clock is None:
+            self.clock = clock
+
+    def now(self) -> float:
+        return (self.clock or time.perf_counter)()
+
+    # -- instruments (all no-ops here) -----------------------------------------
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        """Accumulate ``delta`` onto counter ``name``."""
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to histogram ``name``."""
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Context manager measuring a lexically scoped interval."""
+        return _NULL_SPAN
+
+    def phase(self, scope: Hashable, name: str) -> None:
+        """Event-driven phase transition for ``scope`` (see module doc)."""
+
+    def phase_end(self, scope: Hashable) -> None:
+        """Close ``scope``'s current phase without starting a new one."""
+
+    # -- exporting -------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable view of everything recorded so far."""
+        return {"counters": {}, "gauges": {}, "histograms": {}, "spans": 0}
+
+
+class NullRecorder(Recorder):
+    """Alias of the no-op base, for explicitness at call sites."""
+
+
+#: The process-wide default recorder.  Runtimes fall back to this when no
+#: recorder is passed; it records nothing.
+NULL = NullRecorder()
+
+
+class _SpanHandle:
+    """Context manager driving one :class:`Span` on a memory recorder."""
+
+    __slots__ = ("_rec", "_index")
+
+    def __init__(self, rec: "MemoryRecorder", index: int):
+        self._rec = rec
+        self._index = index
+
+    def __enter__(self) -> Span:
+        return self._rec.spans[self._index]
+
+    def __exit__(self, *exc: object) -> None:
+        self._rec._close_span(self._index)
+
+
+class MemoryRecorder(Recorder):
+    """Collects counters, gauges, histograms, spans and phases in memory.
+
+    One recorder is shared by all parties of a runtime, which is why the
+    phase API is keyed by an explicit ``scope`` (conventionally
+    ``(node_id, pid)``): concurrent protocol instances never clobber each
+    other's phase timing.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.spans: List[Span] = []
+        self._open: List[int] = []  # stack of indices into spans
+        self._phases: Dict[Hashable, Tuple[str, float]] = {}
+
+    # -- counters / gauges / histograms ------------------------------------------
+
+    def count(self, name: str, delta: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + delta
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.add(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (created empty on first access)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    # -- spans ------------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        parent = self._open[-1] if self._open else None
+        span = Span(name, self.now(), depth=len(self._open), parent=parent,
+                    attrs=attrs)
+        index = len(self.spans)
+        self.spans.append(span)
+        self._open.append(index)
+        return _SpanHandle(self, index)
+
+    def _close_span(self, index: int) -> None:
+        span = self.spans[index]
+        if span.end is None:
+            span.end = self.now()
+            self.observe(f"span.{span.name}", span.duration)
+        if self._open and self._open[-1] == index:
+            self._open.pop()
+
+    # -- phases ---------------------------------------------------------------------------
+
+    def phase(self, scope: Hashable, name: str) -> None:
+        now = self.now()
+        previous = self._phases.get(scope)
+        if previous is not None:
+            prev_name, started = previous
+            self.observe(f"phase.{prev_name}", now - started)
+        self._phases[scope] = (name, now)
+
+    def phase_end(self, scope: Hashable) -> None:
+        previous = self._phases.pop(scope, None)
+        if previous is not None:
+            prev_name, started = previous
+            self.observe(f"phase.{prev_name}", self.now() - started)
+
+    def current_phase(self, scope: Hashable) -> Optional[str]:
+        entry = self._phases.get(scope)
+        return entry[0] if entry is not None else None
+
+    # -- exporting ------------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.histograms.items())
+            },
+            "spans": len(self.spans),
+        }

@@ -17,6 +17,13 @@ from repro.crypto.params import SecurityParams
 _GROUP_CACHE = {}
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under tests/fuzz carries the ``fuzz`` marker."""
+    for item in items:
+        if "/fuzz/" in str(getattr(item, "path", "")):
+            item.add_marker(pytest.mark.fuzz)
+
+
 def pytest_addoption(parser):
     group = parser.getgroup("fuzz", "seeded schedule/Byzantine fuzzing")
     group.addoption(

@@ -3,24 +3,39 @@
 import pytest
 
 from repro.experiments.__main__ import main
+from repro.obs import export
 
 
 def test_fig3_runs(capsys):
-    assert main(["fig3"]) == 0
+    assert main(["fig3", "--bench-dir", ""]) == 0
     out = capsys.readouterr().out
     assert "Figure 3" in out and "Tokyo" in out and "373" in out
 
 
-def test_fig4_runs(capsys):
-    assert main(["fig4", "--messages", "9"]) == 0
+def test_fig4_runs(capsys, tmp_path):
+    assert main(["fig4", "--messages", "9", "--bench-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "Figure 4" in out and "P3/Win2k" in out
+    # every run exports one valid BENCH_<name>.json record
+    record = export.load_source(str(tmp_path))["fig4-LAN"]
+    assert record["experiment"] == "fig4"
+    assert record["metrics"]["deliveries"] > 0
+    assert record["phases"]  # per-phase latency breakdown present
 
 
-def test_table1_small(capsys):
-    assert main(["table1", "--messages", "6"]) == 0
+def test_table1_small(capsys, tmp_path):
+    assert main(["table1", "--messages", "6", "--bench-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "Table 1" in out and "LAN+I'net" in out
+    records = export.load_source(str(tmp_path))
+    assert len(records) == 12  # 3 setups x 4 channels
+    assert all(r["experiment"] == "table1" for r in records.values())
+
+
+def test_bench_dir_empty_disables_export(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["fig4", "--messages", "9", "--bench-dir", ""]) == 0
+    assert not list(tmp_path.glob("BENCH_*.json"))
 
 
 def test_unknown_experiment_rejected():

@@ -1,0 +1,95 @@
+"""Recorded experiment runs: phases, counters, export and determinism."""
+
+import pytest
+
+from repro.experiments import LAN_SETUP, run_channel_experiment
+from repro.experiments.runner import bench_record, export_result, result_metrics
+from repro.obs import export
+from repro.obs.recorder import MemoryRecorder
+
+
+def _run(recorder, channel="atomic", seed=5):
+    return run_channel_experiment(
+        LAN_SETUP, channel, senders=[0], messages=6, seed=seed,
+        recorder=recorder,
+    )
+
+
+def test_recorded_run_captures_phases_and_counters():
+    rec = MemoryRecorder()
+    result = _run(rec)
+    assert result.count == 6
+    # protocol phase breakdown, measured on the simulated clock
+    assert rec.histograms["phase.atomic.collect"].count > 0
+    assert rec.histograms["phase.atomic.agree"].count > 0
+    assert rec.histograms["phase.atomic.e2e"].count == 6
+    # channel + network + crypto counters from the same registry
+    assert rec.counters["channel.atomic.sent"] == 6
+    assert rec.counters["channel.atomic.delivered"] == 6 * LAN_SETUP.n
+    assert rec.counters["net.messages"] > 0
+    assert rec.counters["crypto.modexp"] > 0
+    # per-node CPU gauges set at the end of the run
+    assert rec.gauges["node.0.cpu_s"] > 0
+
+
+def test_recording_does_not_perturb_the_simulation():
+    bare = _run(None)
+    recorded = _run(MemoryRecorder())
+    assert recorded.sim_seconds == bare.sim_seconds
+    assert recorded.deliveries == bare.deliveries
+    assert recorded.messages_sent == bare.messages_sent
+
+
+def test_recorded_phases_are_deterministic():
+    rec_a, rec_b = MemoryRecorder(), MemoryRecorder()
+    _run(rec_a)
+    _run(rec_b)
+    snap_a, snap_b = rec_a.snapshot(), rec_b.snapshot()
+    assert snap_a["histograms"] == snap_b["histograms"]
+    assert snap_a["counters"] == snap_b["counters"]
+
+
+def test_secure_channel_decryption_phase():
+    rec = MemoryRecorder()
+    result = _run(rec, channel="secure")
+    assert result.count == 6
+    assert rec.counters["secure.encrypted"] == 6
+    assert rec.counters["secure.combined"] > 0
+    assert rec.histograms["phase.secure.decrypt"].count > 0
+
+
+def test_export_result_writes_valid_record(tmp_path):
+    rec = MemoryRecorder()
+    result = _run(rec)
+    path = export_result(
+        result, rec, name="itest", experiment="table1",
+        meta={"seed": 5}, bench_dir=str(tmp_path),
+    )
+    assert path is not None
+    record = export.load_source(path)["itest"]
+    assert record["meta"]["setup"] == "LAN"
+    assert record["meta"]["channel"] == "atomic"
+    assert record["metrics"]["deliveries"] == 6
+    assert record["metrics"]["sim_seconds"] == pytest.approx(result.sim_seconds)
+    assert "atomic.agree" in record["phases"]
+
+
+def test_export_result_off_without_directory(tmp_path, monkeypatch):
+    monkeypatch.delenv(export.BENCH_DIR_ENV, raising=False)
+    rec = MemoryRecorder()
+    result = _run(rec)
+    assert export_result(result, rec, name="n", experiment="e") is None
+    monkeypatch.setenv(export.BENCH_DIR_ENV, str(tmp_path / "envdir"))
+    path = export_result(result, rec, name="n", experiment="e")
+    assert path and (tmp_path / "envdir" / "BENCH_n.json").exists()
+
+
+def test_result_metrics_and_bench_record():
+    rec = MemoryRecorder()
+    result = _run(rec)
+    metrics = result_metrics(result)
+    assert set(metrics) >= {"sim_seconds", "mean_delivery_s", "deliveries",
+                            "messages_sent", "bytes_sent", "wall_seconds"}
+    record = bench_record(result, rec, name="x", experiment="fig4")
+    assert record["metrics"] == metrics
+    assert record["meta"]["senders"] == [0]

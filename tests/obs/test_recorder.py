@@ -1,0 +1,153 @@
+"""Recorder core: histograms, spans, phases, clock binding."""
+
+import pytest
+
+from repro.obs.recorder import NULL, Histogram, MemoryRecorder, NullRecorder
+
+
+class FakeClock:
+    """A manually advanced clock (stands in for the simulator's)."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# -- histograms ----------------------------------------------------------------
+
+
+def test_histogram_percentiles_interpolate():
+    h = Histogram()
+    for v in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]:
+        h.add(v)
+    assert h.count == 10
+    assert h.mean == pytest.approx(55.0)
+    assert h.percentile(0) == 10.0
+    assert h.percentile(100) == 100.0
+    # linear interpolation between order statistics
+    assert h.percentile(50) == pytest.approx(55.0)
+    assert h.percentile(90) == pytest.approx(91.0)
+    assert h.percentile(25) == pytest.approx(32.5)
+
+
+def test_histogram_edge_cases():
+    h = Histogram()
+    assert h.percentile(50) == 0.0
+    assert h.summary()["count"] == 0
+    h.add(7.0)
+    assert h.percentile(1) == 7.0
+    assert h.percentile(99) == 7.0
+    s = h.summary()
+    assert s["count"] == 1 and s["p50"] == 7.0 and s["total"] == 7.0
+
+
+def test_histogram_order_independent():
+    a, b = Histogram(), Histogram()
+    values = [5.0, 1.0, 4.0, 2.0, 3.0]
+    for v in values:
+        a.add(v)
+    for v in sorted(values):
+        b.add(v)
+    assert a.summary() == b.summary()
+
+
+# -- spans under a simulated clock ---------------------------------------------
+
+
+def test_span_nesting_and_durations_on_bound_clock():
+    clock = FakeClock()
+    rec = MemoryRecorder(clock=clock)
+    with rec.span("outer") as outer:
+        clock.advance(1.0)
+        with rec.span("inner") as inner:
+            clock.advance(0.25)
+        clock.advance(1.0)
+    assert outer.depth == 0 and outer.parent is None
+    assert inner.depth == 1
+    assert rec.spans[inner.parent] is outer
+    assert inner.duration == pytest.approx(0.25)
+    assert outer.duration == pytest.approx(2.25)
+    # closing a span feeds the span.<name> histogram
+    assert rec.histograms["span.inner"].values == [pytest.approx(0.25)]
+    assert rec.histograms["span.outer"].values == [pytest.approx(2.25)]
+
+
+def test_bind_clock_first_wins():
+    clock = FakeClock()
+    rec = MemoryRecorder()
+    rec.bind_clock(clock)
+    rec.bind_clock(lambda: 1e9)  # later binder must not steal the clock
+    clock.advance(3.0)
+    assert rec.now() == pytest.approx(3.0)
+
+
+def test_span_attrs_recorded():
+    rec = MemoryRecorder(clock=FakeClock())
+    with rec.span("work", channel="atomic", n=4) as span:
+        pass
+    assert span.attrs == {"channel": "atomic", "n": 4}
+
+
+# -- phases --------------------------------------------------------------------
+
+
+def test_phase_transitions_close_previous_phase():
+    clock = FakeClock()
+    rec = MemoryRecorder(clock=clock)
+    scope = (0, "ch")
+    rec.phase(scope, "collect")
+    clock.advance(2.0)
+    rec.phase(scope, "agree")  # closes collect at 2.0
+    clock.advance(3.0)
+    rec.phase_end(scope)  # closes agree at 3.0
+    assert rec.histograms["phase.collect"].values == [pytest.approx(2.0)]
+    assert rec.histograms["phase.agree"].values == [pytest.approx(3.0)]
+    assert rec.current_phase(scope) is None
+    # ending again is a no-op
+    rec.phase_end(scope)
+    assert rec.histograms["phase.agree"].count == 1
+
+
+def test_phase_scopes_are_independent():
+    clock = FakeClock()
+    rec = MemoryRecorder(clock=clock)
+    rec.phase((0, "ch"), "a")
+    clock.advance(1.0)
+    rec.phase((1, "ch"), "a")  # another party: must not close party 0's
+    clock.advance(1.0)
+    rec.phase_end((0, "ch"))
+    rec.phase_end((1, "ch"))
+    assert sorted(rec.histograms["phase.a"].values) == [
+        pytest.approx(1.0), pytest.approx(2.0)]
+
+
+# -- counters / gauges / snapshot ----------------------------------------------
+
+
+def test_counters_and_gauges():
+    rec = MemoryRecorder(clock=FakeClock())
+    rec.count("x")
+    rec.count("x", 2.5)
+    rec.set_gauge("g", 1.0)
+    rec.set_gauge("g", 9.0)
+    snap = rec.snapshot()
+    assert snap["counters"]["x"] == pytest.approx(3.5)
+    assert snap["gauges"]["g"] == 9.0
+
+
+def test_null_recorder_is_disabled_and_inert():
+    assert NULL.enabled is False
+    assert isinstance(NULL, NullRecorder)
+    NULL.count("x")
+    NULL.observe("h", 1.0)
+    NULL.phase("s", "p")
+    NULL.phase_end("s")
+    with NULL.span("nothing"):
+        pass
+    snap = NULL.snapshot()
+    assert snap["counters"] == {} and snap["histograms"] == {}

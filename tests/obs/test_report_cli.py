@@ -1,0 +1,103 @@
+"""The perf-gate CLI: thresholds, exit codes, skipped/new benches."""
+
+import json
+
+import pytest
+
+from repro.obs import export
+from repro.obs.report import main, parse_threshold
+
+
+def _write(tmp_path, subdir, name, metrics, counters=None):
+    record = export.make_record(name, metrics=metrics)
+    if counters:
+        record["counters"] = counters
+    d = tmp_path / subdir
+    d.mkdir(exist_ok=True)
+    export.write_record(str(d), record)
+    return str(d)
+
+
+def test_parse_threshold():
+    assert parse_threshold("20%") == pytest.approx(0.20)
+    assert parse_threshold("0.2") == pytest.approx(0.2)
+    with pytest.raises(Exception):
+        parse_threshold("fast")
+
+
+def test_diff_passes_within_threshold(tmp_path, capsys):
+    base = _write(tmp_path, "base", "b1", {"sim_seconds": 10.0})
+    cur = _write(tmp_path, "cur", "b1", {"sim_seconds": 11.0})
+    assert main(["--diff", base, cur, "--threshold", "20%"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_diff_fails_on_regression(tmp_path, capsys):
+    base = _write(tmp_path, "base", "b1", {"sim_seconds": 10.0})
+    cur = _write(tmp_path, "cur", "b1", {"sim_seconds": 13.0})
+    assert main(["--diff", base, cur, "--threshold", "20%"]) == 1
+    err = capsys.readouterr().err
+    assert "FAIL" in err and "sim_seconds" in err
+
+
+def test_diff_improvement_is_ok(tmp_path):
+    base = _write(tmp_path, "base", "b1", {"sim_seconds": 10.0})
+    cur = _write(tmp_path, "cur", "b1", {"sim_seconds": 2.0})
+    assert main(["--diff", base, cur, "--threshold", "20%"]) == 0
+
+
+def test_wall_seconds_never_gated(tmp_path):
+    base = _write(tmp_path, "base", "b1", {"sim_seconds": 10.0, "wall_seconds": 1.0})
+    cur = _write(tmp_path, "cur", "b1", {"sim_seconds": 10.0, "wall_seconds": 60.0})
+    assert main(["--diff", base, cur, "--threshold", "20%"]) == 0
+
+
+def test_counters_gated_only_on_request(tmp_path):
+    base = _write(tmp_path, "base", "b1", {"sim_seconds": 1.0},
+                  counters={"crypto.modexp": 100})
+    cur = _write(tmp_path, "cur", "b1", {"sim_seconds": 1.0},
+                 counters={"crypto.modexp": 1000})
+    assert main(["--diff", base, cur, "--threshold", "20%"]) == 0
+    assert main(["--diff", base, cur, "--threshold", "20%",
+                 "--gate-counters"]) == 1
+
+
+def test_diff_reports_skipped_and_new(tmp_path, capsys):
+    base = _write(tmp_path, "base", "gone", {"sim_seconds": 1.0})
+    _write(tmp_path, "base", "kept", {"sim_seconds": 1.0})
+    cur = _write(tmp_path, "cur", "kept", {"sim_seconds": 1.0})
+    _write(tmp_path, "cur", "fresh", {"sim_seconds": 1.0})
+    assert main(["--diff", base, cur]) == 0
+    out = capsys.readouterr().out
+    assert "skipped: gone" in out
+    assert "new bench (not in baseline, not gated): fresh" in out
+
+
+def test_diff_empty_baseline_is_an_error(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    cur = _write(tmp_path, "cur", "b1", {"sim_seconds": 1.0})
+    assert main(["--diff", str(empty), cur]) == 2
+
+
+def test_combine_writes_loadable_set(tmp_path, capsys):
+    src = _write(tmp_path, "src", "b1", {"sim_seconds": 1.0})
+    _write(tmp_path, "src", "b2", {"sim_seconds": 2.0})
+    out = tmp_path / "baseline.json"
+    assert main(["--combine", src, "-o", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == export.SCHEMA_SET
+    assert set(export.load_source(str(out))) == {"b1", "b2"}
+
+
+def test_summarize_sources(tmp_path, capsys):
+    src = _write(tmp_path, "src", "b1", {"sim_seconds": 1.0})
+    assert main([src]) == 0
+    assert "bench b1" in capsys.readouterr().out
+
+
+def test_malformed_source_exits_2(tmp_path, capsys):
+    bad = tmp_path / "BENCH_x.json"
+    bad.write_text("{}")
+    assert main([str(tmp_path)]) == 2
+    assert "error" in capsys.readouterr().err

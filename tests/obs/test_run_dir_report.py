@@ -1,0 +1,66 @@
+"""experiments report: tolerant loading of missing/partial run dirs."""
+
+from repro.experiments import report
+from repro.experiments.__main__ import main as experiments_main
+from repro.obs import export
+
+
+def _record(name, experiment, setup="LAN", channel="atomic", mean=0.5):
+    return export.make_record(
+        name, experiment=experiment,
+        meta={"setup": setup, "channel": channel},
+        metrics={"sim_seconds": 1.0, "mean_delivery_s": mean,
+                 "deliveries": 6.0, "messages_sent": 10.0},
+    )
+
+
+def test_missing_run_dir_is_reported_not_raised(tmp_path):
+    text = report.run_dir_report(str(tmp_path / "nope"))
+    assert "does not exist" in text
+    assert "skipped figures" in text
+    assert "table1" in text and "fig6" in text
+
+
+def test_empty_run_dir_notes_absence(tmp_path):
+    text = report.run_dir_report(str(tmp_path))
+    assert "contains no BENCH_*.json" in text
+
+
+def test_partial_run_dir_skips_only_missing_figures(tmp_path):
+    export.write_record(str(tmp_path), _record("fig4-LAN", "fig4"))
+    text = report.run_dir_report(str(tmp_path))
+    assert "fig4:" in text and "fig4-LAN" in text
+    assert "skipped figures" in text
+    assert "fig5" in text.split("skipped figures")[1]
+    assert "fig4" not in text.split("skipped figures")[1]
+
+
+def test_corrupt_record_is_named_and_skipped(tmp_path):
+    export.write_record(str(tmp_path), _record("fig4-LAN", "fig4"))
+    (tmp_path / "BENCH_broken.json").write_text("{oops")
+    records, problems = report.load_run_dir(str(tmp_path))
+    assert set(records) == {"fig4-LAN"}
+    assert any("BENCH_broken.json" in p for p in problems)
+    text = report.run_dir_report(str(tmp_path))
+    assert "BENCH_broken.json" in text and "fig4-LAN" in text
+
+
+def test_partial_table1_renders_with_note(tmp_path):
+    export.write_record(
+        str(tmp_path), _record("table1-LAN-atomic", "table1", mean=0.7))
+    text = report.run_dir_report(str(tmp_path))
+    assert "table1 is partial" in text
+    assert "Table 1" in text  # still renders what it has
+
+
+def test_unknown_experiments_listed_as_other(tmp_path):
+    export.write_record(str(tmp_path), _record("custom-run", "adhoc"))
+    text = report.run_dir_report(str(tmp_path))
+    assert "other benches" in text and "custom-run" in text
+
+
+def test_cli_report_subcommand(tmp_path, capsys):
+    export.write_record(str(tmp_path), _record("fig4-LAN", "fig4"))
+    assert experiments_main(["report", "--bench-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig4-LAN" in out
