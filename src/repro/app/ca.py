@@ -123,6 +123,21 @@ class CARegistry(StateMachine):
             for name, (pk, serial, revoked) in self.registry.items()
         ))
 
+    def restore(self, snapshot: bytes) -> None:
+        entries = decode(snapshot)
+        if not isinstance(entries, list):
+            raise EncodingError("ca snapshot must be a list")
+        registry: Dict[bytes, Tuple[bytes, int, bool]] = {}
+        for entry in entries:
+            if not (isinstance(entry, tuple) and len(entry) == 4):
+                raise EncodingError("ca snapshot entry malformed")
+            name, pubkey, serial, revoked = entry
+            if not (isinstance(name, bytes) and isinstance(pubkey, bytes)
+                    and isinstance(serial, int) and isinstance(revoked, bool)):
+                raise EncodingError("ca snapshot entry malformed")
+            registry[name] = (pubkey, serial, revoked)
+        self.registry = registry
+
 
 class ReplicatedCA(ReplicatedService):
     """One replica of the certification authority."""

@@ -83,6 +83,18 @@ class KVStore(StateMachine):
     def snapshot(self) -> bytes:
         return encode(sorted(self.data.items()))
 
+    def restore(self, snapshot: bytes) -> None:
+        items = decode(snapshot)
+        if not isinstance(items, list):
+            raise EncodingError("kvstore snapshot must be a list of pairs")
+        data: Dict[bytes, bytes] = {}
+        for item in items:
+            if not (isinstance(item, tuple) and len(item) == 2
+                    and isinstance(item[0], bytes) and isinstance(item[1], bytes)):
+                raise EncodingError("kvstore snapshot entry malformed")
+            data[item[0]] = item[1]
+        self.data = data
+
 
 class ReplicatedKVStore(ReplicatedService):
     """One replica of the key-value service with typed client helpers."""

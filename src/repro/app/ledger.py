@@ -137,6 +137,22 @@ class Ledger(StateMachine):
             for account, (key, balance, nonce) in self.accounts.items()
         ))
 
+    def restore(self, snapshot: bytes) -> None:
+        entries = decode(snapshot)
+        if not isinstance(entries, list):
+            raise EncodingError("ledger snapshot must be a list")
+        accounts: Dict[bytes, Tuple[Tuple[int, int], int, int]] = {}
+        for entry in entries:
+            if not (isinstance(entry, tuple) and len(entry) == 5):
+                raise EncodingError("ledger snapshot entry malformed")
+            account, key_n, key_e, balance, nonce = entry
+            if not (isinstance(account, bytes) and isinstance(key_n, int)
+                    and isinstance(key_e, int) and isinstance(balance, int)
+                    and isinstance(nonce, int)):
+                raise EncodingError("ledger snapshot entry malformed")
+            accounts[account] = ((key_n, key_e), balance, nonce)
+        self.accounts = accounts
+
 
 class ReplicatedLedger(ReplicatedService):
     """One replica of the payment ledger."""

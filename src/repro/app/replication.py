@@ -38,13 +38,33 @@ class StateMachine(abc.ABC):
     def snapshot(self) -> bytes:
         """A canonical byte representation of the current state."""
 
+    def restore(self, snapshot: bytes) -> None:
+        """Replace the state with one previously captured by ``snapshot()``.
+
+        The inverse of ``snapshot()``: afterwards ``self.snapshot()`` must
+        equal the argument byte for byte.  Crash recovery depends on it
+        (``repro.recovery``), so concrete services should implement it; the
+        default raises for state machines that are still one-way.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement restore()"
+        )
+
     def digest(self) -> bytes:
         """Hash of the current state (for replica-equality checks)."""
         return hashlib.sha256(self.snapshot()).digest()
 
 
 class ReplicatedService:
-    """One replica of a service replicated via atomic broadcast."""
+    """One replica of a service replicated via atomic broadcast.
+
+    Subclasses that must defer channel creation (a recovering replica first
+    has to learn the sequence to resume at — see
+    ``repro.recovery.service.RecoverableService``) set ``_auto_open_channel``
+    to ``False`` and call ``_open_channel()`` themselves.
+    """
+
+    _auto_open_channel = True
 
     def __init__(
         self,
@@ -55,14 +75,26 @@ class ReplicatedService:
         **channel_kwargs: Any,
     ):
         self.party = party
+        self.pid = pid
         self.state = state_machine
-        if secure:
-            self.channel = party.secure_atomic_channel(pid, **channel_kwargs)
-        else:
-            self.channel = party.atomic_channel(pid, **channel_kwargs)
-        self.channel.on_output = self._on_command
+        self.secure = secure
+        self._channel_kwargs = dict(channel_kwargs)
+        self.channel = None
         #: (command, result) pairs in application order
         self.log: List[Tuple[bytes, bytes]] = []
+        self._digest_cache: Tuple[int, bytes] = (-1, b"")
+        if self._auto_open_channel:
+            self._open_channel()
+
+    def _open_channel(self, **extra_kwargs: Any):
+        """Create the (possibly resumed) channel and hook up delivery."""
+        kwargs = {**self._channel_kwargs, **extra_kwargs}
+        if self.secure:
+            self.channel = self.party.secure_atomic_channel(self.pid, **kwargs)
+        else:
+            self.channel = self.party.atomic_channel(self.pid, **kwargs)
+        self.channel.on_output = self._on_command
+        return self.channel
 
     # -- client side --------------------------------------------------------------
 
@@ -85,8 +117,30 @@ class ReplicatedService:
     def applied(self) -> int:
         return len(self.log)
 
+    @property
+    def applied_seq(self) -> int:
+        """Total commands this replica has applied over its lifetime.
+
+        For a plain service this equals ``applied``; a recovering service
+        overrides it to include commands covered by an adopted checkpoint,
+        whose log entries are no longer held in memory.
+        """
+        return len(self.log)
+
     def state_digest(self) -> bytes:
         return self.state.digest()
+
+    def last_state_digest(self) -> bytes:
+        """``state_digest()`` cached per applied command count.
+
+        Recovery checkpoints and replica-equality tests hash the state
+        after every K commands; the cache makes repeated probing between
+        applications free.
+        """
+        count = self.applied_seq
+        if self._digest_cache[0] != count:
+            self._digest_cache = (count, self.state.digest())
+        return self._digest_cache[1]
 
     def log_digest(self) -> bytes:
         """Hash of the full command log (order-sensitive)."""

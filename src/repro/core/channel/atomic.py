@@ -27,7 +27,7 @@ Byzantine agreement on message batches:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.common.encoding import decode, encode
 from repro.common.errors import EncodingError, ProtocolError
@@ -65,6 +65,10 @@ class AtomicChannel(Channel):
         fairness_f: Optional[int] = None,
         order: str = ORDER_RANDOM,
         max_pending: Optional[int] = None,
+        resume_round: Optional[int] = None,
+        resume_delivered: Optional[Iterable[Tuple[int, int]]] = None,
+        resume_close_origins: Optional[Iterable[int]] = None,
+        resume_next_seq: int = 0,
     ):
         super().__init__(ctx, pid, max_pending=max_pending)
         n, t = ctx.n, ctx.t
@@ -74,20 +78,35 @@ class AtomicChannel(Channel):
         self.fairness_f = f
         self.batch_size = n - f + 1
         self.order = order
-        self.round = 1
+        if resume_round is not None and resume_round < 1:
+            raise ProtocolError(f"resume round must be >= 1, got {resume_round}")
+        self.round = 1 if resume_round is None else resume_round
         #: messages this party has sent but that are not yet delivered
         self._own_queue: List[Record] = []
-        self._own_next_seq = 0
+        self._own_next_seq = resume_next_seq
         #: round -> {signer: (record, signature)} in arrival order
         self._candidates: Dict[int, Dict[int, Tuple[Record, int]]] = {}
         #: adoption pool: (origin, seq) -> record, in arrival order
         self._pending: Dict[Tuple[int, int], Record] = {}
-        self._delivered: Set[Tuple[int, int]] = set()
-        self._close_origins: Set[int] = set()
-        self._emitted_round: int = 0
+        self._delivered: Set[Tuple[int, int]] = set(
+            (int(o), int(s)) for o, s in (resume_delivered or ())
+        )
+        self._close_origins: Set[int] = set(int(o) for o in (resume_close_origins or ()))
+        self._emitted_round: int = self.round - 1
         self._mvba: Optional[ArrayAgreement] = None
         self.deliveries: List[Tuple[int, int, bytes]] = []  # (origin, seq, data)
         self.rounds_completed = 0
+        #: count of slots delivered by *this instance* plus any resumed prefix
+        self.slots_delivered = len(self._delivered)
+        #: recovery hook: called at delivery of every slot (before the
+        #: payload reaches the application) with
+        #: (index, origin, seq, kind, data, round) — the write-ahead point
+        #: for a durable delivery log.
+        self.on_slot: Optional[Callable[[int, int, int, int, bytes, int], None]] = None
+        #: recovery hook: called when a per-origin sequence number is
+        #: allocated for an own send, with the *next* unused sequence number
+        #: (persist it before the signed record can reach any peer).
+        self.on_own_enqueue: Optional[Callable[[int], None]] = None
 
     # -- submitting payloads ---------------------------------------------------------
 
@@ -103,6 +122,11 @@ class AtomicChannel(Channel):
     def _enqueue_own(self, kind: int, data: bytes) -> None:
         record: Record = (self.ctx.node_id, self._own_next_seq, kind, data)
         self._own_next_seq += 1
+        if self.on_own_enqueue is not None:
+            # Durability barrier: the allocated sequence number must hit the
+            # log before the signed record can leave this process, or a
+            # restarted replica could reuse it for a different payload.
+            self.on_own_enqueue(self._own_next_seq)
         self._own_queue.append(record)
         self._try_emit()
 
@@ -291,10 +315,24 @@ class AtomicChannel(Channel):
         self._pending.pop(key, None)
         if self._own_queue and self._own_queue[0][:2] == key:
             self._own_queue.pop(0)
+        index = self.slots_delivered
+        self.slots_delivered = index + 1
+        if self.on_slot is not None:
+            self.on_slot(index, origin, seq, kind, data, self.round)
         if kind == KIND_CLOSE:
             self._close_origins.add(origin)
         else:
             self._handle_delivered_payload(origin, seq, kind, data)
+
+    # -- recovery introspection ------------------------------------------------------
+
+    def delivered_keys(self) -> List[Tuple[int, int]]:
+        """Sorted (origin, seq) keys of every slot delivered so far."""
+        return sorted(self._delivered)
+
+    def close_origin_list(self) -> List[int]:
+        """Sorted origins whose close requests have been delivered."""
+        return sorted(self._close_origins)
 
     def _handle_delivered_payload(
         self, origin: int, seq: int, kind: int, data: bytes

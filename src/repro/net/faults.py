@@ -143,6 +143,28 @@ class SocketChaosPlan:
 
 
 @dataclass
+class ProcessFault:
+    """Full process kill/restart of one replica (crash-recovery model).
+
+    Unlike :class:`CrashFault` — which silences a party forever, as in the
+    paper's static model — a process fault destroys the victim's entire
+    in-memory state (protocol instances, state machine, sockets) and later
+    restarts it from durable storage plus peer state transfer
+    (``repro.recovery``).  Consumed by
+    :class:`repro.testing.netchaos.ReplicaProcess.execute`, which kills
+    the victim ``kill_after_s`` seconds in, keeps it down for
+    ``downtime_s``, then restarts and recovers it.  With ``wipe_disk`` the
+    durable directory is destroyed too, so recovery runs purely from
+    peers.
+    """
+
+    victim: int
+    kill_after_s: float = 1.0
+    downtime_s: float = 0.25
+    wipe_disk: bool = False
+
+
+@dataclass
 class CrashFault:
     """Party ``victim`` stops sending anything at ``crash_at`` seconds.
 
@@ -165,9 +187,13 @@ class FaultPlan:
         self,
         adversary: Optional[NetworkAdversary] = None,
         crashes: Optional[Tuple[CrashFault, ...]] = None,
+        process_faults: Optional[Tuple[ProcessFault, ...]] = None,
     ):
         self.adversary = adversary or NetworkAdversary()
         self.crashes = tuple(crashes or ())
+        #: kill/restart faults; interpreted by the TCP chaos harness, not
+        #: the simulator (a process fault needs real sockets and disks)
+        self.process_faults = tuple(process_faults or ())
 
     def drops(self, src: int, now: float) -> bool:
         return any(c.is_silenced(src, now) for c in self.crashes)

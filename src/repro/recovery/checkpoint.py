@@ -1,0 +1,181 @@
+"""Threshold-certified checkpoints.
+
+Every ``K`` delivered slots each replica signs the statement
+``(pid, seq, digest)`` where ``digest`` hashes the *checkpoint package* —
+the state snapshot together with the channel bookkeeping (delivered keys,
+close origins, next round) needed to resume delivery after the covered
+prefix.  Because the package is a pure function of the slot sequence,
+honest replicas produce byte-identical packages and their shares combine.
+
+The certificate is a ``k = t + 1`` multi-signature over the group's
+per-party RSA keys (``crypto/threshold_sig.py``).  ``t + 1`` shares mean
+at least one *honest* replica attests the digest, so a recovering replica
+can accept the package from any single peer once the certificate
+verifies — a Byzantine sender cannot forge a certificate for a corrupted
+snapshot.  (This piggybacks on the dealt per-party keys rather than a
+separately dealt Shoup instance, so it works for both ``sig_mode``
+deals.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.common.encoding import decode, encode
+from repro.common.errors import EncodingError, ReproError
+from repro.crypto.threshold_sig import MultiSignatureScheme, ThresholdSigner
+
+CHECKPOINT_DOMAIN = "sintra.recovery.checkpoint"
+
+
+class CheckpointError(ReproError):
+    """A checkpoint package or certificate is malformed or invalid."""
+
+
+def checkpoint_statement(pid: str, seq: int, package_digest: bytes) -> bytes:
+    """The byte string every replica threshold-signs at a checkpoint."""
+    return encode(("recovery-ckpt", pid, seq, package_digest))
+
+
+def checkpoint_scheme(crypto) -> MultiSignatureScheme:
+    """The group's ``t + 1``-of-``n`` certificate scheme.
+
+    Built over the dealt per-party RSA verification keys, which every
+    ``PartyCrypto`` already holds — no extra dealing step.
+    """
+    return MultiSignatureScheme(
+        crypto.n, crypto.t + 1, crypto.t, crypto.party_public_keys,
+        CHECKPOINT_DOMAIN,
+    )
+
+
+def checkpoint_signer(
+    crypto, scheme: Optional[MultiSignatureScheme] = None
+) -> ThresholdSigner:
+    """This party's share signer, bound to its ordinary RSA keypair."""
+    scheme = scheme if scheme is not None else checkpoint_scheme(crypto)
+    return scheme.signer(crypto.index0 + 1, crypto.rsa)
+
+
+# -- the checkpoint package ---------------------------------------------------------
+
+
+def make_package(
+    snapshot: bytes,
+    delivered: List[Tuple[int, int]],
+    close_origins: List[int],
+    base_round: int,
+) -> bytes:
+    """Canonical encoding of (snapshot, delivered keys, closes, next round).
+
+    Deterministic in the slot sequence alone: the lists are sorted and
+    ``base_round`` is derived from the last covered slot's round, so all
+    honest replicas produce identical bytes and their signature shares
+    combine.
+    """
+    return encode((
+        snapshot,
+        sorted((int(o), int(s)) for o, s in delivered),
+        sorted(int(o) for o in close_origins),
+        int(base_round),
+    ))
+
+
+def parse_package(
+    package: bytes,
+) -> Tuple[bytes, List[Tuple[int, int]], Set[int], int]:
+    """Decode and shape-check a checkpoint package from an untrusted peer."""
+    try:
+        parsed = decode(package)
+    except EncodingError as exc:
+        raise CheckpointError("undecodable checkpoint package") from exc
+    if not (isinstance(parsed, tuple) and len(parsed) == 4):
+        raise CheckpointError("checkpoint package must be a 4-tuple")
+    snapshot, delivered, closes, base_round = parsed
+    if not isinstance(snapshot, bytes):
+        raise CheckpointError("package snapshot must be bytes")
+    if not isinstance(delivered, list) or not isinstance(closes, list):
+        raise CheckpointError("package bookkeeping must be lists")
+    keys: List[Tuple[int, int]] = []
+    for entry in delivered:
+        if not (isinstance(entry, tuple) and len(entry) == 2
+                and isinstance(entry[0], int) and isinstance(entry[1], int)
+                and entry[1] >= 0):
+            raise CheckpointError("package delivered key malformed")
+        keys.append((entry[0], entry[1]))
+    origins: Set[int] = set()
+    for origin in closes:
+        if not isinstance(origin, int):
+            raise CheckpointError("package close origin malformed")
+        origins.add(origin)
+    if not isinstance(base_round, int) or base_round < 1:
+        raise CheckpointError("package base round malformed")
+    return snapshot, keys, origins, base_round
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A certified checkpoint: sequence, package, group certificate."""
+
+    seq: int
+    package: bytes
+    signature: bytes
+
+    @property
+    def digest(self) -> bytes:
+        return hashlib.sha256(self.package).digest()
+
+    def statement(self, pid: str) -> bytes:
+        return checkpoint_statement(pid, self.seq, self.digest)
+
+    def verify(self, scheme: MultiSignatureScheme, pid: str) -> bool:
+        """Does the group certificate cover this (pid, seq, package)?"""
+        return scheme.verify(self.statement(pid), self.signature)
+
+
+# -- durable storage ---------------------------------------------------------------
+
+
+class CheckpointStore:
+    """Holds the newest certified checkpoint on disk (atomic replace)."""
+
+    _MAGIC = b"SINTRA-CKPT1"
+
+    def __init__(self, path: str):
+        self.path = path
+        self.latest: Optional[Checkpoint] = None
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as fh:
+            blob = fh.read()
+        if not blob.startswith(self._MAGIC):
+            return  # unrecognized or torn: recovery falls back to peers
+        try:
+            parsed = decode(blob[len(self._MAGIC):])
+        except EncodingError:
+            return
+        if not (isinstance(parsed, tuple) and len(parsed) == 3
+                and isinstance(parsed[0], int)
+                and isinstance(parsed[1], bytes)
+                and isinstance(parsed[2], bytes)):
+            return
+        self.latest = Checkpoint(seq=parsed[0], package=parsed[1], signature=parsed[2])
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Persist atomically: write tmp, fsync, rename over the old file."""
+        tmp = self.path + ".tmp"
+        blob = self._MAGIC + encode(
+            (checkpoint.seq, checkpoint.package, checkpoint.signature)
+        )
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.latest = checkpoint

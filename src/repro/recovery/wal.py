@@ -1,0 +1,209 @@
+"""The durable delivery log: an append-only, CRC-framed write-ahead log.
+
+Every slot the atomic channel delivers is appended *before* the payload
+reaches the application (the channel's ``on_slot`` hook fires inside the
+delivery step), so after a crash the log holds at least everything the
+state machine has applied.  Frames are length-prefixed with a CRC32 over
+the payload; replay-on-open stops at the first bad frame and truncates the
+torn tail, which is exactly the state an interrupted append leaves behind.
+
+Record kinds (canonically encoded tuples inside each frame):
+
+* ``("d", index, origin, oseq, kind, data, round)`` — delivered slot
+  ``index`` (the global slot counter) carrying the channel record
+  ``(origin, oseq, kind, data)`` decided in ``round``;
+* ``("s", next_seq)`` — own-send high-water mark: the next unused
+  per-origin sequence number.  Persisted *before* the signed record can
+  leave the process, so a restarted replica never signs two different
+  payloads under the same (origin, seq) key;
+* ``("b", base)`` — log base marker written by compaction: slots below
+  ``base`` are covered by a certified checkpoint and have been dropped.
+
+Fsync policy trades durability for latency: ``always`` syncs after every
+append (survives power loss), ``batch`` syncs on ``flush()`` and
+compaction only (survives process crash — the file is opened unbuffered,
+so every append reaches the OS page cache immediately), ``never`` leaves
+syncing to the OS.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.encoding import decode, encode
+from repro.common.errors import EncodingError, ReproError
+
+FSYNC_ALWAYS = "always"
+FSYNC_BATCH = "batch"
+FSYNC_NEVER = "never"
+
+_POLICIES = (FSYNC_ALWAYS, FSYNC_BATCH, FSYNC_NEVER)
+
+#: frame header: payload length, CRC32(payload)
+_HEADER = struct.Struct(">II")
+
+#: a slot as stored in memory: index -> (origin, oseq, kind, data, round)
+SlotValue = Tuple[int, int, int, bytes, int]
+
+#: a slot as shipped over state transfer: (index, origin, oseq, kind, data, round)
+SlotTuple = Tuple[int, int, int, int, bytes, int]
+
+
+class WalError(ReproError):
+    """The delivery log is structurally inconsistent (not just torn)."""
+
+
+class DeliveryLog:
+    """Append-only CRC-framed log of delivered slots, with replay-on-open."""
+
+    def __init__(self, path: str, fsync: str = FSYNC_BATCH):
+        if fsync not in _POLICIES:
+            raise WalError(f"unknown fsync policy {fsync!r} (use one of {_POLICIES})")
+        self.path = path
+        self.fsync_policy = fsync
+        #: first slot index retained; everything below is checkpoint-covered
+        self.base = 0
+        self.slots: Dict[int, SlotValue] = {}
+        self.sent_next = 0
+        #: bytes discarded from a torn tail during the last open
+        self.torn_bytes = 0
+        self.appended_bytes = 0
+        self._fh: Optional[object] = None
+        self._open_and_replay()
+
+    # -- open / replay -----------------------------------------------------------
+
+    def _open_and_replay(self) -> None:
+        good_end = 0
+        if os.path.exists(self.path):
+            with open(self.path, "rb") as fh:
+                blob = fh.read()
+            offset = 0
+            while offset + _HEADER.size <= len(blob):
+                length, crc = _HEADER.unpack_from(blob, offset)
+                body_start = offset + _HEADER.size
+                body = blob[body_start:body_start + length]
+                if len(body) < length or zlib.crc32(body) != crc:
+                    break  # torn tail: an interrupted append
+                try:
+                    self._replay_record(decode(body))
+                except EncodingError:
+                    break  # undecodable frame: treat like torn
+                offset = body_start + length
+            good_end = offset
+            self.torn_bytes = len(blob) - good_end
+            if self.torn_bytes:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(good_end)
+        # Unbuffered append handle: every write() is a syscall, so an
+        # abandoned process (no close, no flush) loses nothing that was
+        # appended — only fsync policy decides power-loss durability.
+        self._fh = open(self.path, "ab", buffering=0)
+
+    def _replay_record(self, rec: object) -> None:
+        if not (isinstance(rec, tuple) and rec):
+            raise EncodingError("wal frame is not a tagged tuple")
+        tag = rec[0]
+        if tag == "d" and len(rec) == 7:
+            _, index, origin, oseq, kind, data, round_ = rec
+            self.slots[index] = (origin, oseq, kind, data, round_)
+        elif tag == "s" and len(rec) == 2:
+            self.sent_next = max(self.sent_next, rec[1])
+        elif tag == "b" and len(rec) == 2:
+            self.base = rec[1]
+        # Unknown tags are skipped: forward compatibility for replay.
+
+    # -- appends -------------------------------------------------------------------
+
+    def append_slot(
+        self, index: int, origin: int, oseq: int, kind: int, data: bytes, round_: int
+    ) -> None:
+        self.slots[index] = (origin, oseq, kind, data, round_)
+        self._append(("d", index, origin, oseq, kind, data, round_))
+
+    def append_sent(self, next_seq: int) -> None:
+        self.sent_next = max(self.sent_next, next_seq)
+        self._append(("s", next_seq))
+
+    def _append(self, record: tuple) -> None:
+        if self._fh is None:
+            raise WalError("delivery log is closed")
+        body = encode(record)
+        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        self._fh.write(frame)
+        self.appended_bytes += len(frame)
+        if self.fsync_policy == FSYNC_ALWAYS:
+            os.fsync(self._fh.fileno())
+
+    def flush(self) -> None:
+        """Sync to disk under the ``batch`` policy (no-op for ``never``)."""
+        if self._fh is not None and self.fsync_policy != FSYNC_NEVER:
+            os.fsync(self._fh.fileno())
+
+    # -- compaction ------------------------------------------------------------------
+
+    def truncate_through(self, index: int) -> None:
+        """Drop slots ``<= index`` (now covered by a certified checkpoint)."""
+        if index + 1 <= self.base:
+            return
+        for i in list(self.slots):
+            if i <= index:
+                del self.slots[i]
+        self.base = index + 1
+        self._rewrite()
+
+    def reset(self, base: int, slots: List[SlotTuple], sent_next: int) -> None:
+        """Replace the whole log with adopted state-transfer results."""
+        self.base = base
+        self.slots = {s[0]: (s[1], s[2], s[3], s[4], s[5]) for s in slots}
+        self.sent_next = max(self.sent_next, sent_next)
+        self._rewrite()
+
+    def _rewrite(self) -> None:
+        """Atomically rewrite the file from in-memory state (tmp + rename)."""
+        if self._fh is not None:
+            self._fh.close()
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            for record in self._records():
+                body = encode(record)
+                fh.write(_HEADER.pack(len(body), zlib.crc32(body)) + body)
+            fh.flush()
+            if self.fsync_policy != FSYNC_NEVER:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab", buffering=0)
+
+    def _records(self):
+        yield ("b", self.base)
+        for index in sorted(self.slots):
+            origin, oseq, kind, data, round_ = self.slots[index]
+            yield ("d", index, origin, oseq, kind, data, round_)
+        yield ("s", self.sent_next)
+
+    # -- inspection -------------------------------------------------------------------
+
+    def tail(self) -> List[SlotTuple]:
+        """Retained slots in index order, as state-transfer tuples."""
+        return [
+            (index,) + self.slots[index]
+            for index in sorted(self.slots)
+        ]
+
+    def check_contiguous(self) -> None:
+        """Raise if the retained slots do not form ``base..base+len-1``."""
+        expected = list(range(self.base, self.base + len(self.slots)))
+        if sorted(self.slots) != expected:
+            raise WalError(
+                f"delivery log has gaps: base={self.base}, "
+                f"indices={sorted(self.slots)[:8]}..."
+            )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None

@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Any, Dict, List, Optional, Set, Tuple
+import shutil
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common import rng as rng_mod
-from repro.net.faults import SocketChaosPlan
+from repro.net.faults import ProcessFault, SocketChaosPlan
 from repro.net.tcp import TcpNode, local_endpoints
 
 CHUNK = 4096
@@ -230,3 +231,138 @@ class ChaosFabric:
             for key, value in proxy.injected.items():
                 totals[key] = totals.get(key, 0) + value
         return totals
+
+
+class ReplicaProcess:
+    """One replica *process* under the chaos fabric: a ``TcpNode`` plus a
+    :class:`~repro.recovery.service.RecoverableService` whose in-memory
+    state can be destroyed outright (``kill``) and rebuilt from disk and
+    peers (``restart`` + ``recover``).
+
+    ``kill()`` emulates SIGKILL inside one interpreter: the proxy is
+    blackholed, live connections are aborted, the node's tasks are torn
+    down, and every object reference is dropped *without* flushing or
+    closing the durable files — the delivery log is opened unbuffered, so
+    what survives is exactly what the configured fsync policy guarantees.
+    Each incarnation derives a fresh transport seed (epoch-salted), which
+    the session layer requires of a restarted peer.
+    """
+
+    def __init__(
+        self,
+        fabric: ChaosFabric,
+        group,
+        index: int,
+        make_state: Callable[[], Any],
+        directory: str,
+        service_pid: str = "svc",
+        recorder_factory: Optional[Callable[[], Any]] = None,
+        service_kwargs: Optional[Dict[str, Any]] = None,
+        **node_kwargs: Any,
+    ):
+        self.fabric = fabric
+        self.group = group
+        self.index = index
+        self.make_state = make_state
+        self.directory = directory
+        self.service_pid = service_pid
+        self.recorder_factory = recorder_factory
+        self.service_kwargs = dict(service_kwargs or {})
+        self.node_kwargs = dict(node_kwargs)
+        self.epoch = 0
+        self.kills = 0
+        self.node: Optional[TcpNode] = None
+        self.service = None
+        self.recorder = None
+
+    @property
+    def proxy(self) -> ChaosProxy:
+        return self.fabric.proxies[self.index]
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self):
+        """Boot fresh (or from local durable state) and go live."""
+        await self._boot()
+        self.service.start()
+        return self.service
+
+    async def _boot(self) -> None:
+        from repro.core.party import Party
+        from repro.recovery.service import RecoverableService
+
+        if self.fabric.endpoints is None:
+            raise RuntimeError("start() the fabric before booting replicas")
+        self.recorder = (
+            self.recorder_factory() if self.recorder_factory is not None else None
+        )
+        node = TcpNode(
+            self.group,
+            self.index,
+            self.fabric.endpoints,
+            seed=rng_mod.derive_int(
+                self.fabric.seed, "netchaos-proc", self.index, self.epoch
+            ),
+            listen_endpoint=self.fabric.real_endpoints[self.index],
+            recorder=self.recorder,
+            **self.node_kwargs,
+        )
+        await node.start()
+        self.node = node
+        self.service = RecoverableService(
+            Party(node.ctx),
+            self.service_pid,
+            self.make_state(),
+            self.directory,
+            **self.service_kwargs,
+        )
+
+    async def kill(self) -> None:
+        """Destroy all in-memory state; keep only what fsync already wrote."""
+        self.proxy.blackholed = True
+        self.proxy.kill_connections()
+        if self.node is not None:
+            await self.node.stop()
+        # Deliberately no service.release(): a killed process never flushes.
+        self.node = None
+        self.service = None
+        self.recorder = None
+        self.epoch += 1
+        self.kills += 1
+
+    async def restart(self, wipe_disk: bool = False):
+        """Boot a new incarnation; caller then runs start() semantics via
+        ``recover()`` (rejoin a running group) on the returned service."""
+        if wipe_disk:
+            shutil.rmtree(self.directory, ignore_errors=True)
+        self.proxy.blackholed = False
+        await self._boot()
+        return self.service
+
+    async def recover(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Drive the service's state-transfer catch-up to completion."""
+        future = self.service.recover()
+        return await asyncio.wait_for(_await_future(future), timeout)
+
+    async def execute(self, fault: ProcessFault) -> Dict[str, Any]:
+        """Run one declarative kill/restart fault against this replica."""
+        if fault.victim != self.index:
+            raise ValueError(f"fault targets {fault.victim}, this is {self.index}")
+        await asyncio.sleep(fault.kill_after_s)
+        await self.kill()
+        await asyncio.sleep(fault.downtime_s)
+        await self.restart(wipe_disk=fault.wipe_disk)
+        return await self.recover()
+
+    async def stop(self) -> None:
+        """Clean shutdown (flushes durable files), for test teardown."""
+        if self.service is not None:
+            self.service.release()
+        if self.node is not None:
+            await self.node.stop()
+        self.node = None
+        self.service = None
+
+
+async def _await_future(future) -> Any:
+    return await future

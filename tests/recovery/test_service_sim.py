@@ -1,0 +1,210 @@
+"""RecoverableService under the deterministic simulator.
+
+Covers the full recovery lifecycle without real sockets: checkpoint
+certification and log truncation during normal operation, restart of a
+whole (quiescent) group from durable state alone, a late joiner catching
+up via peer state transfer, and rejection of Byzantine transfer
+responses.
+"""
+
+import pytest
+
+from repro.app.replication import StateMachine
+from repro.common.encoding import decode, encode
+from repro.common.errors import EncodingError
+from repro.core.party import make_parties
+from repro.obs import MemoryRecorder
+from repro.recovery import RecoverableService
+
+from tests.helpers import no_errors, sim_runtime
+
+pytestmark = pytest.mark.recovery
+
+
+class RCounter(StateMachine):
+    """The Counter of the replication tests, plus ``restore``."""
+
+    def __init__(self):
+        self.value = 0
+
+    def apply(self, command: bytes) -> bytes:
+        op, _, amount = command.partition(b":")
+        try:
+            amount = int(amount)
+        except ValueError:
+            return b"error"
+        if op == b"add":
+            self.value += amount
+        elif op == b"sub":
+            self.value -= amount
+        else:
+            return b"error"
+        return str(self.value).encode()
+
+    def snapshot(self) -> bytes:
+        return encode(self.value)
+
+    def restore(self, snapshot: bytes) -> None:
+        value = decode(snapshot)
+        if not isinstance(value, int):
+            raise EncodingError("counter snapshot must be an int")
+        self.value = value
+
+
+def _service(party, tmp_path, **kwargs):
+    kwargs.setdefault("checkpoint_interval", 2)
+    kwargs.setdefault("fsync", "always")
+    directory = str(tmp_path / f"replica{party.id}")
+    return RecoverableService(party, "svc", RCounter(), directory, **kwargs)
+
+
+def _sync(rt, services, seq, limit=3000.0):
+    def waiter(svc):
+        while svc.applied_seq < seq:
+            yield svc.channel.receive()
+
+    procs = [rt.spawn(waiter(s)) for s in services]
+    for p in procs:
+        rt.run_until(p.future, limit=limit)
+
+
+def test_checkpoints_certify_and_truncate(group4, tmp_path):
+    recorder = MemoryRecorder()
+    rt = sim_runtime(group4, seed=11, recorder=recorder)
+    services = [_service(p, tmp_path) for p in make_parties(rt)]
+    for s in services:
+        s.start()
+    for i in range(4):
+        services[i % 2].submit(b"add:%d" % (i + 1))
+    _sync(rt, services, 4)
+    rt.run()  # drain in-flight checkpoint shares
+
+    assert {s.last_certified for s in services} == {4}
+    assert len({s.last_state_digest() for s in services}) == 1
+    for s in services:
+        # The certified prefix is truncated from the log...
+        assert s.wal.base == 4
+        assert all(index >= 4 for index in s.wal.slots)
+        # ...and the certificate is on disk.
+        assert s.ckpt_store.latest is not None
+        assert s.ckpt_store.latest.seq == 4
+        assert s.ckpt_store.latest.verify(s.scheme, "svc")
+    # Own-send sequence allocations were persisted before sending.
+    assert services[0].wal.sent_next == 2
+    assert recorder.counters["recovery.checkpoint.certified"] >= 4
+    assert recorder.counters["recovery.wal.slots"] >= 16
+    no_errors(rt)
+
+
+def test_group_restart_from_durable_state(group4, tmp_path):
+    rt = sim_runtime(group4, seed=12)
+    services = [_service(p, tmp_path) for p in make_parties(rt)]
+    for s in services:
+        s.start()
+    for i in range(5):  # 5 slots: checkpoint at 4 plus one logged tail slot
+        services[0].submit(b"add:%d" % (i + 1))
+    _sync(rt, services, 5)
+    rt.run()
+    digest = services[0].last_state_digest()
+    assert len({s.last_state_digest() for s in services}) == 1
+    for s in services:
+        s.release()  # clean shutdown; the whole group goes down
+
+    rt2 = sim_runtime(group4, seed=13)
+    revived = [_service(p, tmp_path) for p in make_parties(rt2)]
+    for s in revived:
+        s.start()  # checkpoint restore + log-tail replay, no peers needed
+    assert {s.applied_seq for s in revived} == {5}
+    assert {s.last_state_digest() for s in revived} == {digest}
+    # The revived group is live: it orders and applies new commands.
+    revived[2].submit(b"sub:3")
+    _sync(rt2, revived, 6)
+    assert {s.state.value for s in revived} == {15 - 3}
+    assert len({s.log_digest() for s in revived}) == 1
+    no_errors(rt2)
+
+
+def test_late_joiner_recovers_via_state_transfer(group4, tmp_path):
+    recorder = MemoryRecorder()
+    rt = sim_runtime(group4, seed=14, recorder=recorder)
+    parties = make_parties(rt)
+    services = [_service(p, tmp_path) for p in parties[:3]]
+    for s in services:
+        s.start()
+    # Replica 3 exists but never opened its channel: it models a process
+    # restarted after total memory loss, knowing only its group identity.
+    joiner = _service(parties[3], tmp_path)
+
+    for i in range(5):
+        services[i % 3].submit(b"add:%d" % (i + 1))
+    _sync(rt, services, 5)
+    rt.run()
+    assert {s.last_certified for s in services} == {4}
+
+    future = joiner.recover()
+    stats = rt.run_until(future, limit=3000.0)
+    assert stats["seq"] == 4
+    assert stats["tail_slots"] == 1
+    assert stats["applied_seq"] == 5
+    assert joiner.recovered
+    assert joiner.applied_seq == 5
+    assert joiner.last_state_digest() == services[0].last_state_digest()
+    assert joiner.wal.base == 4
+
+    # The recovered replica participates: its own sends get ordered.
+    joiner.submit(b"add:100")
+    _sync(rt, services + [joiner], 6)
+    assert {s.state.value for s in services + [joiner]} == {115}
+    assert recorder.counters["recovery.transfer.adopted"] == 1
+    assert recorder.counters["recovery.transfer.served"] >= joiner.party.t + 1
+    assert recorder.counters["recovery.catchup.slots"] == 1
+    no_errors(rt)
+
+
+def test_byzantine_transfer_response_rejected(group4, tmp_path):
+    """A forged certificate cannot poison recovery: the response is
+    rejected and adoption proceeds from the honest quorum."""
+    recorder = MemoryRecorder()
+    rt = sim_runtime(group4, seed=15, recorder=recorder)
+    parties = make_parties(rt)
+    services = [_service(p, tmp_path) for p in parties[:3]]
+    for s in services:
+        s.start()
+    joiner = _service(parties[3], tmp_path)
+
+    # Replica 1 turns Byzantine for state transfer: it serves a corrupted
+    # snapshot under a forged certificate.
+    services[1]._serve_payload = lambda: (4, b"forged-cert", b"poison", [])
+
+    for i in range(4):
+        services[0].submit(b"add:%d" % (i + 1))
+    _sync(rt, services, 4)
+    rt.run()
+
+    future = joiner.recover()
+    stats = rt.run_until(future, limit=3000.0)
+    assert stats["seq"] == 4
+    assert joiner.last_state_digest() == services[0].last_state_digest()
+    assert recorder.counters["recovery.transfer.rejected"] >= 1
+    assert recorder.counters["recovery.transfer.adopted"] == 1
+
+
+def test_recover_rejects_open_channel(group4, tmp_path):
+    from repro.recovery.service import RecoveryError
+
+    rt = sim_runtime(group4, seed=16)
+    parties = make_parties(rt)
+    svc = _service(parties[0], tmp_path).start()
+    with pytest.raises(RecoveryError):
+        svc.recover()
+    with pytest.raises(RecoveryError):
+        svc.start()
+
+
+def test_secure_channel_not_supported(group4, tmp_path):
+    from repro.recovery.service import RecoveryError
+
+    rt = sim_runtime(group4, seed=17)
+    parties = make_parties(rt)
+    with pytest.raises(RecoveryError):
+        _service(parties[0], tmp_path, secure=True)

@@ -1,0 +1,152 @@
+"""The durable delivery log: framing, replay, torn tails, compaction."""
+
+import os
+
+import pytest
+
+from repro.recovery.wal import (
+    FSYNC_ALWAYS,
+    FSYNC_NEVER,
+    DeliveryLog,
+    WalError,
+)
+
+
+def _path(tmp_path):
+    return os.path.join(str(tmp_path), "wal.log")
+
+
+def test_replay_round_trip(tmp_path):
+    path = _path(tmp_path)
+    log = DeliveryLog(path, fsync=FSYNC_ALWAYS)
+    log.append_slot(0, 1, 0, 0, b"alpha", 1)
+    log.append_slot(1, 2, 0, 0, b"beta", 1)
+    log.append_slot(2, 1, 1, 1, b"", 2)  # a close record
+    log.append_sent(5)
+    log.close()
+
+    replayed = DeliveryLog(path)
+    assert replayed.tail() == [
+        (0, 1, 0, 0, b"alpha", 1),
+        (1, 2, 0, 0, b"beta", 1),
+        (2, 1, 1, 1, b"", 2),
+    ]
+    assert replayed.sent_next == 5
+    assert replayed.base == 0
+    assert replayed.torn_bytes == 0
+    replayed.check_contiguous()
+    replayed.close()
+
+
+def test_replay_without_close_loses_nothing(tmp_path):
+    """An abandoned (never closed, never flushed) log replays fully: the
+    append handle is unbuffered, so a process kill loses no appends."""
+    path = _path(tmp_path)
+    log = DeliveryLog(path, fsync=FSYNC_NEVER)
+    for i in range(10):
+        log.append_slot(i, i % 4, i // 4, 0, b"x%d" % i, 1 + i // 3)
+    # no close(), no flush(): drop the object as a kill would
+    replayed = DeliveryLog(path)
+    assert len(replayed.slots) == 10
+    replayed.close()
+
+
+def test_torn_tail_is_truncated(tmp_path):
+    path = _path(tmp_path)
+    log = DeliveryLog(path, fsync=FSYNC_ALWAYS)
+    log.append_slot(0, 0, 0, 0, b"keep", 1)
+    log.close()
+    with open(path, "ab") as fh:
+        fh.write(b"\x00\x00\x00\x20partial frame that never finished")
+
+    replayed = DeliveryLog(path)
+    assert replayed.torn_bytes > 0
+    assert replayed.tail() == [(0, 0, 0, 0, b"keep", 1)]
+    replayed.close()
+    # The torn bytes are gone from disk too: a second open is clean.
+    again = DeliveryLog(path)
+    assert again.torn_bytes == 0
+    again.close()
+
+
+def test_corrupt_frame_stops_replay(tmp_path):
+    path = _path(tmp_path)
+    log = DeliveryLog(path, fsync=FSYNC_ALWAYS)
+    log.append_slot(0, 0, 0, 0, b"first", 1)
+    size_after_first = os.path.getsize(path)
+    log.append_slot(1, 1, 0, 0, b"second", 1)
+    log.close()
+    # Flip a byte inside the second frame's body: CRC catches it.
+    with open(path, "r+b") as fh:
+        fh.seek(size_after_first + 12)
+        original = fh.read(1)
+        fh.seek(size_after_first + 12)
+        fh.write(bytes((original[0] ^ 0xFF,)))
+
+    replayed = DeliveryLog(path)
+    assert [s[0] for s in replayed.tail()] == [0]
+    assert replayed.torn_bytes > 0
+    replayed.close()
+
+
+def test_truncate_through_compacts_and_persists(tmp_path):
+    path = _path(tmp_path)
+    log = DeliveryLog(path, fsync=FSYNC_ALWAYS)
+    for i in range(6):
+        log.append_slot(i, i % 4, 0, 0, b"slot%d" % i, 1 + i)
+    log.append_sent(2)
+    log.truncate_through(3)
+    assert log.base == 4
+    assert sorted(log.slots) == [4, 5]
+    log.check_contiguous()
+    log.close()
+
+    replayed = DeliveryLog(path)
+    assert replayed.base == 4
+    assert sorted(replayed.slots) == [4, 5]
+    assert replayed.sent_next == 2  # high-water survives compaction
+    replayed.close()
+
+
+def test_reset_replaces_contents(tmp_path):
+    path = _path(tmp_path)
+    log = DeliveryLog(path, fsync=FSYNC_ALWAYS)
+    log.append_slot(0, 0, 0, 0, b"stale", 1)
+    log.reset(8, [(8, 1, 2, 0, b"adopted", 9)], sent_next=3)
+    log.close()
+
+    replayed = DeliveryLog(path)
+    assert replayed.base == 8
+    assert replayed.tail() == [(8, 1, 2, 0, b"adopted", 9)]
+    assert replayed.sent_next == 3
+    replayed.check_contiguous()
+    replayed.close()
+
+
+def test_sent_high_water_is_monotonic(tmp_path):
+    log = DeliveryLog(_path(tmp_path), fsync=FSYNC_NEVER)
+    log.append_sent(4)
+    log.append_sent(2)  # late/duplicate persist must not regress
+    assert log.sent_next == 4
+    log.close()
+
+
+def test_check_contiguous_detects_gaps(tmp_path):
+    log = DeliveryLog(_path(tmp_path), fsync=FSYNC_NEVER)
+    log.append_slot(0, 0, 0, 0, b"a", 1)
+    log.append_slot(2, 1, 0, 0, b"c", 2)  # gap at 1
+    with pytest.raises(WalError):
+        log.check_contiguous()
+    log.close()
+
+
+def test_append_after_close_raises(tmp_path):
+    log = DeliveryLog(_path(tmp_path))
+    log.close()
+    with pytest.raises(WalError):
+        log.append_sent(1)
+
+
+def test_unknown_fsync_policy_rejected(tmp_path):
+    with pytest.raises(WalError):
+        DeliveryLog(_path(tmp_path), fsync="sometimes")
