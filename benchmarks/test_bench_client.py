@@ -1,0 +1,97 @@
+"""Client request end-to-end latency on the simulated LAN.
+
+The client layer adds two network legs (request in, reply out) and the
+reply-vote wait on top of the atomic channel's ordering latency.  This
+benchmark runs one external client sequentially through a 4-replica
+group and exports the ``client.request.e2e`` phase — the submit-to-vote
+latency in *simulated* seconds, deterministic under the pinned seed, so
+the CI perf gate's 20% threshold is a real regression check on the whole
+client + channel + reply path.
+"""
+
+import pytest
+
+from repro.app.replication import ReplicatedService, StateMachine
+from repro.client import DedupStateMachine, RequestServer
+from repro.client.simnet import SimClientNetwork
+from repro.core.party import make_parties
+from repro.crypto.dealer import fast_group
+from repro.crypto.params import SecurityParams
+from repro.net.latency import lan_latency
+from repro.net.runtime import SimRuntime
+from repro.obs import MemoryRecorder, bench_dir_from_env, make_record, write_record
+
+from conftest import bench_messages, emit
+
+SEED = 46
+
+
+class _Counter(StateMachine):
+    def __init__(self):
+        self.value = 0
+
+    def apply(self, command: bytes) -> bytes:
+        self.value += 1
+        return str(self.value).encode()
+
+    def snapshot(self) -> bytes:
+        return str(self.value).encode()
+
+    def restore(self, snapshot: bytes) -> None:
+        self.value = int(snapshot)
+
+
+def _run():
+    recorder = MemoryRecorder()
+    group = fast_group(4, 1, SecurityParams.toy(), sig_mode="multi", seed=SEED)
+    rt = SimRuntime(group, latency=lan_latency(), seed=SEED, recorder=recorder)
+    services = [
+        ReplicatedService(p, "bench", DedupStateMachine(_Counter()))
+        for p in make_parties(rt)
+    ]
+    net = SimClientNetwork(rt)
+    for i, svc in enumerate(services):
+        net.attach(i, RequestServer(svc, obs=recorder))
+    client = net.connect("bench-client", contact=0, timeout=5.0, seed=SEED)
+
+    messages = bench_messages(1.0, minimum=12)
+    for _ in range(messages):
+        rt.run_until(client.submit(b"inc"), limit=600)
+    return rt, recorder, services, messages
+
+
+@pytest.mark.benchmark(group="client")
+def test_client_request_e2e_latency(benchmark):
+    rt, recorder, services, messages = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+    hist = recorder.histograms["phase.client.request.e2e"]
+    assert hist.count == messages
+    assert all(s.state.inner.value == messages for s in services)
+    # No retry churn on a healthy LAN: one submission per request.
+    assert recorder.counters["client.requests"] == messages
+    assert recorder.counters.get("client.retransmits", 0) == 0
+    assert recorder.counters.get("reqserver.dedup_hits", 0) == 0
+
+    emit(
+        "Client e2e latency (LAN, sequential, simulated seconds):\n"
+        f"  requests: {messages}\n"
+        f"  mean: {hist.mean:.3f}s  p50: {hist.percentile(50):.3f}s  "
+        f"p90: {hist.percentile(90):.3f}s"
+    )
+    # The e2e latency is the ordering round plus two client legs: on the
+    # LAN it must stay the same order of magnitude as the channel itself.
+    assert 0.0 < hist.mean < 5.0
+
+    record = make_record(
+        "client-lan",
+        experiment="client",
+        meta={"n": 4, "t": 1, "seed": SEED, "messages": messages},
+        metrics={
+            "request_e2e_mean_s": hist.mean,
+            "request_e2e_p90_s": hist.percentile(90),
+        },
+        recorder=recorder,
+    )
+    out_dir = bench_dir_from_env()
+    if out_dir:
+        write_record(out_dir, record)

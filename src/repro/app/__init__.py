@@ -1,6 +1,11 @@
 """Application layer: state-machine replication over atomic broadcast."""
 
-from repro.app.replication import ReplicatedService, StateMachine
+from repro.app.replication import (
+    ChannelCongested,
+    ReplicatedService,
+    ServiceNotOpen,
+    StateMachine,
+)
 from repro.app.kvstore import KVStore, ReplicatedKVStore
 from repro.app.ca import (
     CARegistry,
@@ -14,6 +19,8 @@ from repro.app.ledger import Ledger, ReplicatedLedger
 __all__ = [
     "StateMachine",
     "ReplicatedService",
+    "ChannelCongested",
+    "ServiceNotOpen",
     "KVStore",
     "ReplicatedKVStore",
     "CARegistry",

@@ -19,7 +19,17 @@ import hashlib
 from typing import Any, List, Tuple
 
 from repro.common.encoding import encode
+from repro.common.errors import ChannelCongested, ServiceNotOpen
 from repro.core.party import Party
+
+__all__ = [
+    "StateMachine",
+    "ReplicatedService",
+    # Re-exported so service callers can catch backpressure distinctly
+    # from other protocol errors (see submit()).
+    "ChannelCongested",
+    "ServiceNotOpen",
+]
 
 
 class StateMachine(abc.ABC):
@@ -99,10 +109,33 @@ class ReplicatedService:
     # -- client side --------------------------------------------------------------
 
     def submit(self, command: bytes) -> None:
-        """Broadcast a state update; it executes once totally ordered."""
+        """Broadcast a state update; it executes once totally ordered.
+
+        Raises :class:`~repro.common.errors.ServiceNotOpen` if the channel
+        is deferred and not yet opened, and
+        :class:`~repro.common.errors.ChannelCongested` when a bounded
+        channel (``max_pending=...``) has a full send buffer — the latter
+        is retryable: check ``can_submit()`` first or retry after
+        deliveries drain.
+        """
+        if self.channel is None:
+            raise ServiceNotOpen(
+                f"service {self.pid!r} has no open channel yet: "
+                "call start() or recover() before submit()"
+            )
         self.channel.send(command)
 
+    def can_submit(self) -> bool:
+        """Whether ``submit`` would be accepted right now (channel open
+        and, for bounded channels, send buffer not full)."""
+        return self.channel is not None and self.channel.can_send()
+
     def close(self) -> None:
+        if self.channel is None:
+            raise ServiceNotOpen(
+                f"service {self.pid!r} has no open channel yet: "
+                "nothing to close (call start() or recover() first)"
+            )
         self.channel.close()
 
     # -- replica side ---------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""External clients of the replicated group (paper Secs. 1, 2.5).
+
+The SINTRA group serves clients that are outside the trust domain: a
+client must obtain correct service despite up to ``t`` Byzantine
+replicas — including, possibly, the very replica it submits to.  This
+package provides the full request lifecycle on both runtimes:
+
+* :mod:`repro.client.protocol` — request identity ``(client_id, seq)``,
+  envelopes, reply statuses, and the ``t + 1`` byte-identical
+  :class:`ReplyVote`;
+* :mod:`repro.client.dedup` — :class:`DedupStateMachine`, the replicated
+  at-most-once table (rides checkpoints and WAL replay via
+  ``snapshot``/``restore``);
+* :mod:`repro.client.server` — :class:`RequestServer`, the replica-side
+  endpoint with admission control and retryable ``Overloaded`` shedding;
+* :mod:`repro.client.client` — :class:`SintraClient`, the
+  transport-agnostic retry/failover/vote core;
+* :mod:`repro.client.simnet` / :mod:`repro.client.tcpnet` — the
+  simulated and real-TCP transports.
+
+See docs/CLIENTS.md for the lifecycle walk-through.
+"""
+
+from repro.client.client import SintraClient
+from repro.client.dedup import DedupStateMachine
+from repro.client.protocol import (
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    ReplyVote,
+    make_envelope,
+    parse_envelope,
+)
+from repro.client.server import RequestServer
+from repro.common.errors import ClientError, RetriesExhausted
+
+__all__ = [
+    "SintraClient",
+    "DedupStateMachine",
+    "RequestServer",
+    "ReplyVote",
+    "make_envelope",
+    "parse_envelope",
+    "STATUS_OK",
+    "STATUS_OVERLOADED",
+    "ClientError",
+    "RetriesExhausted",
+]

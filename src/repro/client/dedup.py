@@ -1,0 +1,184 @@
+"""At-most-once execution: a replicated dedup table wrapping any service.
+
+Retransmission is a client's only weapon against a crashed or Byzantine
+contact replica, but a retransmitted request must never execute twice —
+a bank transfer submitted through a dying replica and then resubmitted to
+the rest of the group has to move the money exactly once.
+
+:class:`DedupStateMachine` solves this *inside* the replicated state
+machine, which is the only place it can be solved consistently:
+
+* the dedup table is keyed by request identity ``(client_id, seq)`` and
+  mutated exclusively by ``apply``, i.e. by the total order of the atomic
+  channel — every honest replica makes the same keep/duplicate/expired
+  decision at the same position of the order, deterministically;
+* the table is part of ``snapshot()``/``restore()``, so it rides the
+  recovery subsystem's certified checkpoints and is rebuilt by WAL replay
+  — at-most-once survives crashes with **no extra persistence code**;
+* the per-client reply cache is bounded (``cache_size`` replies per
+  client, optionally ``max_clients`` clients).  Eviction advances a
+  per-client *floor*: a resubmission below the floor returns the
+  retryable ``STATUS_OVERLOADED`` instead of re-executing, keeping the
+  at-most-once guarantee even after its cached reply is gone.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.app.replication import StateMachine
+from repro.common.encoding import decode, encode
+from repro.client.protocol import (
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    make_envelope,
+    parse_envelope,
+)
+
+#: ``on_apply(client_id, seq, status, result, duplicate)`` — fired for every
+#: envelope the total order delivers (including duplicates and expired
+#: resubmissions, with ``duplicate=True``).
+ApplyHook = Callable[[str, int, int, bytes, bool], None]
+
+
+class _ClientRecord:
+    """Reply cache and eviction floor for one client."""
+
+    __slots__ = ("replies", "floor")
+
+    def __init__(self) -> None:
+        #: seq -> (status, result) in execution order (oldest first)
+        self.replies: "OrderedDict[int, Tuple[int, bytes]]" = OrderedDict()
+        #: seqs below this executed once but their replies were evicted
+        self.floor = 0
+
+
+class DedupStateMachine(StateMachine):
+    """Wraps an application :class:`StateMachine` with at-most-once dedup.
+
+    Commands that are request envelopes (``make_envelope``) are executed
+    once per ``(client_id, seq)``; resubmissions return the cached reply.
+    Non-envelope commands pass straight through to the wrapped machine, so
+    replica-side ``submit()`` callers coexist with external clients.
+    """
+
+    def __init__(
+        self,
+        inner: StateMachine,
+        cache_size: int = 64,
+        max_clients: int = 1024,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
+        if max_clients < 1:
+            raise ValueError("max_clients must be at least 1")
+        self.inner = inner
+        self.cache_size = cache_size
+        self.max_clients = max_clients
+        #: client_id -> record, in activity order (least recent first);
+        #: applies follow the total order, so identical on every replica
+        self._clients: "OrderedDict[str, _ClientRecord]" = OrderedDict()
+        self.on_apply: Optional[ApplyHook] = None
+
+    # -- the replicated transition function ---------------------------------------
+
+    def apply(self, command: bytes) -> bytes:
+        parsed = parse_envelope(command)
+        if parsed is None:
+            return self.inner.apply(command)
+        client_id, seq, inner_command = parsed
+
+        record = self._clients.get(client_id)
+        if record is not None:
+            self._clients.move_to_end(client_id)
+            cached = record.replies.get(seq)
+            if cached is not None:
+                # Resubmission of an executed request: replay the cached
+                # reply, never the command.
+                status, result = cached
+                self._notify(client_id, seq, status, result, duplicate=True)
+                return encode((status, result))
+            if seq < record.floor:
+                # Executed once, reply since evicted: refuse to guess.
+                self._notify(
+                    client_id, seq, STATUS_OVERLOADED, b"", duplicate=True
+                )
+                return encode((STATUS_OVERLOADED, b""))
+        else:
+            record = _ClientRecord()
+            self._clients[client_id] = record
+            while len(self._clients) > self.max_clients:
+                self._clients.popitem(last=False)
+
+        result = self.inner.apply(inner_command)
+        record.replies[seq] = (STATUS_OK, result)
+        while len(record.replies) > self.cache_size:
+            evicted_seq, _ = record.replies.popitem(last=False)
+            if evicted_seq >= record.floor:
+                record.floor = evicted_seq + 1
+        self._notify(client_id, seq, STATUS_OK, result, duplicate=False)
+        return encode((STATUS_OK, result))
+
+    def _notify(
+        self, client_id: str, seq: int, status: int, result: bytes,
+        duplicate: bool,
+    ) -> None:
+        if self.on_apply is not None:
+            self.on_apply(client_id, seq, status, result, duplicate)
+
+    # -- read-only lookups (request servers, not part of the state) ---------------
+
+    def lookup(self, client_id: str, seq: int) -> Tuple[str, Optional[bytes]]:
+        """Classify a request id without mutating state.
+
+        Returns ``("done", encoded_reply)`` for a cached reply,
+        ``("expired", None)`` below the eviction floor, ``("new", None)``
+        otherwise.
+        """
+        record = self._clients.get(client_id)
+        if record is not None:
+            cached = record.replies.get(seq)
+            if cached is not None:
+                return "done", encode(cached)
+            if seq < record.floor:
+                return "expired", None
+        return "new", None
+
+    def client_floor(self, client_id: str) -> int:
+        record = self._clients.get(client_id)
+        return 0 if record is None else record.floor
+
+    # -- snapshot/restore: the table rides checkpoints and WAL replay --------------
+
+    def snapshot(self) -> bytes:
+        table = [
+            (
+                client_id,
+                record.floor,
+                [(seq, status, result)
+                 for seq, (status, result) in record.replies.items()],
+            )
+            for client_id, record in self._clients.items()
+        ]
+        return encode((self.inner.snapshot(), table))
+
+    def restore(self, snapshot: bytes) -> None:
+        inner_snap, table = decode(snapshot)
+        self.inner.restore(inner_snap)
+        self._clients = OrderedDict()
+        for client_id, floor, replies in table:
+            record = _ClientRecord()
+            record.floor = floor
+            for seq, status, result in replies:
+                record.replies[seq] = (status, result)
+            self._clients[client_id] = record
+
+
+__all__ = [
+    "DedupStateMachine",
+    "make_envelope",
+    "parse_envelope",
+    "STATUS_OK",
+    "STATUS_OVERLOADED",
+]

@@ -1,0 +1,201 @@
+"""Replica-side request endpoint: admission control + reply dispatch.
+
+:class:`RequestServer` is the sans-I/O edge between one replica's network
+listener (sim: :mod:`repro.client.simnet`; TCP: :mod:`repro.client.tcpnet`)
+and its :class:`~repro.app.replication.ReplicatedService`.  It is where a
+client request either enters the atomic channel or is *shed* — refused
+with an explicitly retryable ``STATUS_OVERLOADED`` reply rather than
+silently dropped or unboundedly queued:
+
+* **dedup fast path** — a resubmission of an already-executed request is
+  answered from the replicated reply cache without touching the channel
+  (and one whose cached reply was evicted is shed, never re-executed);
+* **per-client in-flight bound** (``max_inflight_per_client``) — one
+  client cannot monopolise the replica's submission budget;
+* **total backlog bound** (``max_backlog``) — the replica sheds before
+  its own memory grows without bound;
+* **channel backpressure** — the atomic channel's ``max_pending`` bound
+  (surfaced as :class:`~repro.common.errors.ChannelCongested`) is
+  translated to the same retryable shed, so congestion deep in the
+  protocol stack reaches the network edge as a well-typed reply.
+
+Replies are *pushed*: when the total order executes a request (on any
+replica — not just the contact), that replica's ``RequestServer`` looks
+up the client's registered session and sends the reply.  The client's
+``t + 1`` vote (:mod:`repro.client.protocol`) does the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.app.replication import ReplicatedService
+from repro.client.dedup import DedupStateMachine
+from repro.client.protocol import STATUS_OVERLOADED, make_envelope
+from repro.common.encoding import decode
+from repro.common.errors import ChannelCongested, ServiceNotOpen
+from repro.obs import recorder as _recorder
+
+#: ``send_reply(seq, status, result)`` — one registered per connected client
+ReplySender = Callable[[int, int, bytes], None]
+
+
+class RequestServer:
+    """One replica's client-facing request endpoint (transport-free).
+
+    The wrapped service's state machine must be a
+    :class:`~repro.client.dedup.DedupStateMachine`; the server hooks its
+    ``on_apply`` to learn when the total order executes a request.
+    """
+
+    def __init__(
+        self,
+        service: ReplicatedService,
+        max_inflight_per_client: int = 8,
+        max_backlog: int = 64,
+        obs: Optional[_recorder.Recorder] = None,
+    ):
+        if not isinstance(service.state, DedupStateMachine):
+            raise TypeError(
+                "RequestServer requires the service state machine to be a "
+                "DedupStateMachine (at-most-once lives in the replicated "
+                f"state), got {type(service.state).__name__}"
+            )
+        if max_inflight_per_client < 1:
+            raise ValueError("max_inflight_per_client must be at least 1")
+        if max_backlog < 1:
+            raise ValueError("max_backlog must be at least 1")
+        self.service = service
+        self.dedup: DedupStateMachine = service.state
+        self.dedup.on_apply = self._on_executed
+        self.max_inflight_per_client = max_inflight_per_client
+        self.max_backlog = max_backlog
+        self.obs = obs if obs is not None else _recorder.NULL
+        #: client_id -> reply sender for the live session (latest wins)
+        self._sessions: Dict[str, ReplySender] = {}
+        #: requests this replica submitted that the order has not executed
+        self._inflight: Dict[str, Set[int]] = {}
+        self._backlog = 0
+
+    # -- session registry ----------------------------------------------------------
+
+    def register_client(self, client_id: str, send_reply: ReplySender) -> None:
+        """Attach the live session for ``client_id`` (replaces any old one)."""
+        self._sessions[client_id] = send_reply
+
+    def unregister_client(self, client_id: str,
+                          send_reply: Optional[ReplySender] = None) -> None:
+        """Detach ``client_id``'s session.
+
+        With ``send_reply`` given, only that exact session is removed —
+        a stale disconnect never tears down a newer reconnection.
+        """
+        current = self._sessions.get(client_id)
+        if current is None:
+            return
+        if send_reply is None or current is send_reply:
+            del self._sessions[client_id]
+
+    @property
+    def backlog(self) -> int:
+        return self._backlog
+
+    def inflight(self, client_id: str) -> int:
+        return len(self._inflight.get(client_id, ()))
+
+    # -- the request path -----------------------------------------------------------
+
+    def handle_request(self, client_id: str, seq: int, command: bytes) -> None:
+        """Admit, dedup, or shed one client request."""
+        obs = self.obs
+        if obs.enabled:
+            obs.count("reqserver.requests")
+
+        status, cached = self.dedup.lookup(client_id, seq)
+        if status == "done":
+            if obs.enabled:
+                obs.count("reqserver.dedup_hits")
+            self._reply_encoded(client_id, seq, cached)
+            return
+        if status == "expired":
+            if obs.enabled:
+                obs.count("reqserver.expired")
+            self._send(client_id, seq, STATUS_OVERLOADED, b"")
+            return
+
+        inflight = self._inflight.get(client_id)
+        if inflight is not None and seq in inflight:
+            # Already submitted by this replica; the executed reply will
+            # be pushed when the order delivers it.  Silence, not a shed:
+            # answering OVERLOADED here would make the client back off a
+            # request that is about to complete.
+            if obs.enabled:
+                obs.count("reqserver.inflight_dups")
+            return
+
+        if inflight is not None and len(inflight) >= self.max_inflight_per_client:
+            self._shed(client_id, seq, "client")
+            return
+        if self._backlog >= self.max_backlog:
+            self._shed(client_id, seq, "backlog")
+            return
+        if not self.service.can_submit():
+            # The atomic channel's max_pending bound, surfaced to the edge.
+            self._shed(client_id, seq, "channel")
+            return
+
+        try:
+            self.service.submit(make_envelope(client_id, seq, command))
+        except (ChannelCongested, ServiceNotOpen):
+            self._shed(client_id, seq, "channel")
+            return
+
+        if inflight is None:
+            inflight = self._inflight[client_id] = set()
+        inflight.add(seq)
+        self._backlog += 1
+        if obs.enabled:
+            obs.count("reqserver.submitted")
+            obs.set_gauge("reqserver.backlog", float(self._backlog))
+
+    def _shed(self, client_id: str, seq: int, reason: str) -> None:
+        if self.obs.enabled:
+            self.obs.count(f"reqserver.shed.{reason}")
+        self._send(client_id, seq, STATUS_OVERLOADED, b"")
+
+    # -- execution notifications (from the total order) ----------------------------
+
+    def _on_executed(self, client_id: str, seq: int, status: int,
+                     result: bytes, duplicate: bool) -> None:
+        inflight = self._inflight.get(client_id)
+        if inflight is not None and seq in inflight:
+            inflight.discard(seq)
+            if not inflight:
+                del self._inflight[client_id]
+            self._backlog -= 1
+            if self.obs.enabled:
+                obs = self.obs
+                obs.set_gauge("reqserver.backlog", float(self._backlog))
+        if self.obs.enabled:
+            self.obs.count("reqserver.executed")
+        self._send(client_id, seq, status, result)
+
+    # -- reply dispatch ---------------------------------------------------------------
+
+    def _send(self, client_id: str, seq: int, status: int,
+              result: bytes) -> None:
+        sender = self._sessions.get(client_id)
+        if sender is None:
+            return
+        if self.obs.enabled:
+            self.obs.count("reqserver.replies")
+        sender(seq, status, result)
+
+    def _reply_encoded(self, client_id: str, seq: int,
+                       encoded_reply: Optional[bytes]) -> None:
+        assert encoded_reply is not None
+        status, result = decode(encoded_reply)
+        self._send(client_id, seq, status, result)
+
+
+__all__ = ["RequestServer", "ReplySender"]

@@ -39,7 +39,34 @@ class ProtocolError(ReproError):
 
 class ChannelCongested(ProtocolError):
     """A bounded channel's send buffer is full (the paper's blocking
-    ``send``; check ``can_send()`` first, retry after deliveries)."""
+    ``send``; check ``can_send()`` first, retry after deliveries).
+
+    This is how a channel's ``max_pending`` bound surfaces to callers:
+    distinct from other :class:`ProtocolError` causes, so applications
+    submitting through :class:`~repro.app.replication.ReplicatedService`
+    can catch congestion and retry (or shed) without masking genuine
+    protocol misuse.  Re-exported from :mod:`repro.core.channel` and
+    :mod:`repro.app`; the client layer's request servers translate it
+    into a retryable ``Overloaded`` reply (see docs/CLIENTS.md)."""
+
+
+class ServiceNotOpen(ReproError):
+    """A replicated service was used before its channel was opened.
+
+    Raised by ``submit()``/``close()`` on a service whose channel creation
+    is deferred (e.g. a :class:`~repro.recovery.service.RecoverableService`
+    that has neither ``start()``-ed nor ``recover()``-ed yet).  Call
+    ``start()`` or ``recover()`` first, or wait for recovery to finish."""
+
+
+class ClientError(ReproError):
+    """Base class for failures in the external-client layer."""
+
+
+class RetriesExhausted(ClientError):
+    """A client request ran out of attempts before collecting ``t + 1``
+    matching replies (only with a finite ``max_attempts``; the default
+    client retries forever, matching the asynchronous liveness model)."""
 
 
 class TransportError(ReproError):

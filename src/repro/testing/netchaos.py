@@ -246,6 +246,15 @@ class ReplicaProcess:
     what survives is exactly what the configured fsync policy guarantees.
     Each incarnation derives a fresh transport seed (epoch-salted), which
     the session layer requires of a restarted peer.
+
+    With ``client_endpoint=(host, port)`` each incarnation also exposes a
+    client-facing :class:`~repro.client.tcpnet.TcpRequestListener` (the
+    service's state machine must then be a
+    :class:`~repro.client.dedup.DedupStateMachine`).  The endpoint is
+    *stable across incarnations* — external clients reconnect to the same
+    address after a kill, exactly like a restarted real process — while
+    ``kill()`` tears the listener down abruptly along with everything
+    else.
     """
 
     def __init__(
@@ -258,6 +267,8 @@ class ReplicaProcess:
         service_pid: str = "svc",
         recorder_factory: Optional[Callable[[], Any]] = None,
         service_kwargs: Optional[Dict[str, Any]] = None,
+        client_endpoint: Optional[Tuple[str, int]] = None,
+        request_server_kwargs: Optional[Dict[str, Any]] = None,
         **node_kwargs: Any,
     ):
         self.fabric = fabric
@@ -268,12 +279,16 @@ class ReplicaProcess:
         self.service_pid = service_pid
         self.recorder_factory = recorder_factory
         self.service_kwargs = dict(service_kwargs or {})
+        self.client_endpoint = client_endpoint
+        self.request_server_kwargs = dict(request_server_kwargs or {})
         self.node_kwargs = dict(node_kwargs)
         self.epoch = 0
         self.kills = 0
         self.node: Optional[TcpNode] = None
         self.service = None
         self.recorder = None
+        self.request_server = None
+        self.client_listener = None
 
     @property
     def proxy(self) -> ChaosProxy:
@@ -316,17 +331,37 @@ class ReplicaProcess:
             self.directory,
             **self.service_kwargs,
         )
+        if self.client_endpoint is not None:
+            from repro.client.server import RequestServer
+            from repro.client.tcpnet import TcpRequestListener
+
+            self.request_server = RequestServer(
+                self.service,
+                obs=self.recorder,
+                **self.request_server_kwargs,
+            )
+            self.client_listener = TcpRequestListener(
+                self.request_server,
+                self.client_endpoint[0],
+                self.client_endpoint[1],
+                obs=self.recorder,
+            )
+            await self.client_listener.start()
 
     async def kill(self) -> None:
         """Destroy all in-memory state; keep only what fsync already wrote."""
         self.proxy.blackholed = True
         self.proxy.kill_connections()
+        if self.client_listener is not None:
+            await self.client_listener.stop()
         if self.node is not None:
             await self.node.stop()
         # Deliberately no service.release(): a killed process never flushes.
         self.node = None
         self.service = None
         self.recorder = None
+        self.request_server = None
+        self.client_listener = None
         self.epoch += 1
         self.kills += 1
 
@@ -356,12 +391,16 @@ class ReplicaProcess:
 
     async def stop(self) -> None:
         """Clean shutdown (flushes durable files), for test teardown."""
+        if self.client_listener is not None:
+            await self.client_listener.stop()
         if self.service is not None:
             self.service.release()
         if self.node is not None:
             await self.node.stop()
         self.node = None
         self.service = None
+        self.request_server = None
+        self.client_listener = None
 
 
 async def _await_future(future) -> Any:

@@ -106,3 +106,43 @@ def test_close(group4):
         s.close()
     rt.run_all([s.channel.closed for s in services], limit=600)
     assert all(s.channel.is_closed() for s in services)
+
+
+def test_submit_before_open_raises_typed_error(group4):
+    """A deferred-channel service reports misuse with ServiceNotOpen (a
+    ReproError), not a bare AttributeError on ``self.channel``."""
+    from repro.app import ServiceNotOpen
+
+    class Deferred(ReplicatedService):
+        _auto_open_channel = False
+
+    rt = sim_runtime(group4, seed=6)
+    svc = Deferred(make_parties(rt)[0], "deferred", Counter())
+    assert svc.channel is None
+    assert not svc.can_submit()
+    with pytest.raises(ServiceNotOpen, match="deferred"):
+        svc.submit(b"add:1")
+    with pytest.raises(ServiceNotOpen):
+        svc.close()
+    # Once opened, the same service works normally.
+    svc._open_channel()
+    assert svc.can_submit()
+
+
+def test_channel_congestion_is_catchable_from_app_layer(group4):
+    """max_pending backpressure surfaces as the re-exported
+    ChannelCongested, catchable distinctly from other ReproErrors."""
+    from repro.app import ChannelCongested
+
+    rt = sim_runtime(group4, seed=7)
+    services = _services(rt, max_pending=1)
+    services[0].submit(b"add:1")
+    assert not services[0].can_submit()
+    with pytest.raises(ChannelCongested):
+        services[0].submit(b"add:2")
+    _sync(rt, services, 1)
+    # Delivery drained the send buffer: submission is possible again.
+    assert services[0].can_submit()
+    services[0].submit(b"add:2")
+    _sync(rt, services, 2)
+    assert {s.state.value for s in services} == {3}

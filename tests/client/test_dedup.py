@@ -1,0 +1,128 @@
+"""The replicated at-most-once table (repro.client.dedup).
+
+Determinism is the whole point: every decision — execute, replay cached
+reply, or refuse an evicted resubmission — is a pure function of the
+command sequence, so two replicas applying the same total order agree on
+every reply byte-for-byte (checked here via snapshot equality).
+"""
+
+import pytest
+
+from repro.client.dedup import DedupStateMachine
+from repro.client.protocol import STATUS_OK, STATUS_OVERLOADED, make_envelope
+from repro.common.encoding import decode
+
+from tests.recovery.test_service_sim import RCounter
+
+
+def _apply(sm, client, seq, command):
+    return decode(sm.apply(make_envelope(client, seq, command)))
+
+
+def test_executes_once_and_replays_cached_reply():
+    sm = DedupStateMachine(RCounter())
+    status, result = _apply(sm, "alice", 0, b"add:5")
+    assert (status, result) == (STATUS_OK, b"5")
+    assert sm.inner.value == 5
+    # Resubmission: same reply bytes, no second execution.
+    status, result = _apply(sm, "alice", 0, b"add:5")
+    assert (status, result) == (STATUS_OK, b"5")
+    assert sm.inner.value == 5
+    # Even a *different* command under the same id replays the original
+    # reply: the id, not the payload, is the unit of at-most-once.
+    status, result = _apply(sm, "alice", 0, b"add:999")
+    assert (status, result) == (STATUS_OK, b"5")
+    assert sm.inner.value == 5
+
+
+def test_eviction_returns_overloaded_not_reexecution():
+    """Once a reply is evicted from the bounded cache, a resubmission is
+    refused with the retryable OVERLOADED status — never executed again."""
+    sm = DedupStateMachine(RCounter(), cache_size=2)
+    for seq in range(4):
+        _apply(sm, "alice", seq, b"add:1")
+    assert sm.inner.value == 4
+    assert sm.client_floor("alice") == 2  # seqs 0 and 1 evicted
+    status, result = _apply(sm, "alice", 0, b"add:1")
+    assert status == STATUS_OVERLOADED
+    assert sm.inner.value == 4  # the guarantee: not applied a second time
+    # Recent seqs are still served from cache.
+    assert _apply(sm, "alice", 3, b"add:1") == (STATUS_OK, b"4")
+    assert sm.inner.value == 4
+
+
+def test_lookup_classifies_without_mutation():
+    sm = DedupStateMachine(RCounter(), cache_size=1)
+    assert sm.lookup("alice", 0) == ("new", None)
+    _apply(sm, "alice", 0, b"add:1")
+    kind, reply = sm.lookup("alice", 0)
+    assert kind == "done" and decode(reply) == (STATUS_OK, b"1")
+    _apply(sm, "alice", 1, b"add:1")  # evicts seq 0
+    assert sm.lookup("alice", 0) == ("expired", None)
+    assert sm.lookup("alice", 2) == ("new", None)
+    assert sm.inner.value == 2
+
+
+def test_non_envelope_commands_pass_through():
+    sm = DedupStateMachine(RCounter())
+    assert sm.apply(b"add:7") == b"7"  # raw result, no status wrapper
+    assert sm.inner.value == 7
+
+
+def test_snapshot_restore_preserves_dedup_decisions():
+    """The table rides snapshot/restore: a restored replica still
+    suppresses duplicates it executed before the checkpoint."""
+    sm = DedupStateMachine(RCounter(), cache_size=2)
+    for seq in range(3):
+        _apply(sm, "alice", seq, b"add:2")
+    snap = sm.snapshot()
+
+    restored = DedupStateMachine(RCounter(), cache_size=2)
+    restored.restore(snap)
+    assert restored.inner.value == 6
+    assert restored.snapshot() == snap
+    # Duplicate of a cached seq: replayed, not executed.
+    assert _apply(restored, "alice", 2, b"add:2") == (STATUS_OK, b"6")
+    # Duplicate of an evicted seq: refused, not executed.
+    status, _ = _apply(restored, "alice", 0, b"add:2")
+    assert status == STATUS_OVERLOADED
+    assert restored.inner.value == 6
+
+
+def test_two_replicas_stay_identical_under_duplicates():
+    """The same command sequence (with duplicates) leaves two instances
+    byte-identical — the property total-order replication relies on."""
+    a = DedupStateMachine(RCounter(), cache_size=2)
+    b = DedupStateMachine(RCounter(), cache_size=2)
+    sequence = [
+        make_envelope("alice", 0, b"add:1"),
+        make_envelope("bob", 0, b"add:10"),
+        make_envelope("alice", 0, b"add:1"),  # duplicate
+        make_envelope("alice", 1, b"sub:2"),
+        b"add:100",  # raw passthrough
+        make_envelope("alice", 2, b"add:3"),
+        make_envelope("alice", 0, b"add:1"),  # now below the floor
+    ]
+    for sm in (a, b):
+        for command in sequence:
+            sm.apply(command)
+    assert a.snapshot() == b.snapshot()
+    assert a.digest() == b.digest()
+    assert a.inner.value == 112
+
+
+def test_max_clients_evicts_least_recently_active():
+    sm = DedupStateMachine(RCounter(), max_clients=2)
+    _apply(sm, "a", 0, b"add:1")
+    _apply(sm, "b", 0, b"add:1")
+    _apply(sm, "a", 1, b"add:1")  # refreshes a
+    _apply(sm, "c", 0, b"add:1")  # evicts b
+    assert sm.lookup("b", 0) == ("new", None)  # forgotten entirely
+    assert sm.lookup("a", 0)[0] == "done"
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DedupStateMachine(RCounter(), cache_size=0)
+    with pytest.raises(ValueError):
+        DedupStateMachine(RCounter(), max_clients=0)

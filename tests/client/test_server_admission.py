@@ -1,0 +1,165 @@
+"""Replica-side admission control (repro.client.server.RequestServer).
+
+Driven directly against a fake service so every shed path — per-client
+in-flight bound, total backlog bound, channel backpressure — is exercised
+deterministically, including the translation of the atomic channel's
+``ChannelCongested``/``ServiceNotOpen`` into retryable OVERLOADED replies.
+"""
+
+import pytest
+
+from repro.client.dedup import DedupStateMachine
+from repro.client.protocol import STATUS_OK, STATUS_OVERLOADED, make_envelope
+from repro.client.server import RequestServer
+from repro.common.errors import ChannelCongested
+from repro.obs import MemoryRecorder
+
+from tests.recovery.test_service_sim import RCounter
+
+
+class FakeService:
+    """Duck-typed ReplicatedService: queues submissions, delivers on demand."""
+
+    def __init__(self, **dedup_kwargs):
+        self.state = DedupStateMachine(RCounter(), **dedup_kwargs)
+        self.queue = []
+        self.congested = False
+
+    def can_submit(self):
+        return not self.congested
+
+    def submit(self, command):
+        if self.congested:
+            raise ChannelCongested("full")
+        self.queue.append(command)
+
+    def deliver(self, count=None):
+        """Apply queued submissions in order (the total order's job)."""
+        n = len(self.queue) if count is None else count
+        for _ in range(n):
+            self.state.apply(self.queue.pop(0))
+
+
+@pytest.fixture()
+def setup():
+    service = FakeService()
+    obs = MemoryRecorder()
+    server = RequestServer(
+        service, max_inflight_per_client=2, max_backlog=3, obs=obs)
+    replies = []
+    server.register_client("alice", lambda *r: replies.append(r))
+    return service, server, replies, obs
+
+
+def test_request_executes_and_reply_is_pushed(setup):
+    service, server, replies, obs = setup
+    server.handle_request("alice", 0, b"add:5")
+    assert replies == []  # not executed yet
+    service.deliver()
+    assert replies == [(0, STATUS_OK, b"5")]
+    assert obs.counters["reqserver.submitted"] == 1
+    assert obs.counters["reqserver.executed"] == 1
+    assert server.backlog == 0
+
+
+def test_resubmission_served_from_cache_without_channel(setup):
+    service, server, replies, obs = setup
+    server.handle_request("alice", 0, b"add:5")
+    service.deliver()
+    server.handle_request("alice", 0, b"add:5")
+    assert replies == [(0, STATUS_OK, b"5")] * 2
+    assert len(service.queue) == 0  # never resubmitted to the channel
+    assert obs.counters["reqserver.dedup_hits"] == 1
+    assert service.state.inner.value == 5
+
+
+def test_locally_inflight_duplicate_is_silent(setup):
+    service, server, replies, obs = setup
+    server.handle_request("alice", 0, b"add:5")
+    server.handle_request("alice", 0, b"add:5")  # retransmit before order
+    assert replies == []  # no OVERLOADED: it is about to complete
+    assert len(service.queue) == 1
+    assert obs.counters["reqserver.inflight_dups"] == 1
+    service.deliver()
+    assert replies == [(0, STATUS_OK, b"5")]
+
+
+def test_per_client_inflight_bound_sheds(setup):
+    service, server, replies, obs = setup
+    server.handle_request("alice", 0, b"add:1")
+    server.handle_request("alice", 1, b"add:1")
+    server.handle_request("alice", 2, b"add:1")  # third in flight: shed
+    assert replies == [(2, STATUS_OVERLOADED, b"")]
+    assert obs.counters["reqserver.shed.client"] == 1
+    service.deliver()
+    # After the order drains, the request is admitted on retry.
+    server.handle_request("alice", 2, b"add:1")
+    service.deliver()
+    assert replies[-1] == (2, STATUS_OK, b"3")
+
+
+def test_total_backlog_bound_sheds_across_clients(setup):
+    service, server, replies, obs = setup
+    bob_replies = []
+    server.register_client("bob", lambda *r: bob_replies.append(r))
+    server.handle_request("alice", 0, b"add:1")
+    server.handle_request("alice", 1, b"add:1")
+    server.handle_request("bob", 0, b"add:1")
+    server.handle_request("bob", 1, b"add:1")  # backlog == 3: shed
+    assert bob_replies == [(1, STATUS_OVERLOADED, b"")]
+    assert obs.counters["reqserver.shed.backlog"] == 1
+
+
+def test_channel_backpressure_surfaces_as_overloaded(setup):
+    service, server, replies, obs = setup
+    service.congested = True
+    server.handle_request("alice", 0, b"add:1")
+    assert replies == [(0, STATUS_OVERLOADED, b"")]
+    assert obs.counters["reqserver.shed.channel"] == 1
+    # can_submit lied (race): the ChannelCongested raise is also caught.
+    service.can_submit = lambda: True
+    server.handle_request("alice", 0, b"add:1")
+    assert replies[-1] == (0, STATUS_OVERLOADED, b"")
+    assert obs.counters["reqserver.shed.channel"] == 2
+    assert server.backlog == 0
+
+
+def test_expired_resubmission_sheds_instead_of_reexecuting():
+    service = FakeService(cache_size=1)
+    obs = MemoryRecorder()
+    server = RequestServer(service, obs=obs)
+    replies = []
+    server.register_client("alice", lambda *r: replies.append(r))
+    server.handle_request("alice", 0, b"add:1")
+    server.handle_request("alice", 1, b"add:1")
+    service.deliver()  # seq 0's reply evicted by seq 1
+    server.handle_request("alice", 0, b"add:1")
+    assert replies[-1] == (0, STATUS_OVERLOADED, b"")
+    assert obs.counters["reqserver.expired"] == 1
+    assert service.state.inner.value == 2  # never re-executed
+
+
+def test_session_replacement_and_scoped_unregister(setup):
+    service, server, replies, obs = setup
+    new_replies = []
+    new_session = new_replies.append
+    server.register_client("alice", lambda *r: new_session(r))
+    server.handle_request("alice", 0, b"add:1")
+    service.deliver()
+    assert replies == [] and len(new_replies) == 1
+    # A stale disconnect must not tear down the live session.
+    server.unregister_client("alice", lambda *r: None)
+    server.handle_request("alice", 0, b"add:1")  # dedup hit
+    assert len(new_replies) == 2
+    # Unscoped unregister removes it.
+    server.unregister_client("alice")
+    server.handle_request("alice", 0, b"add:1")
+    assert len(new_replies) == 2
+
+
+def test_requires_dedup_state_machine():
+    class Bare:
+        state = RCounter()
+
+    with pytest.raises(TypeError):
+        RequestServer(Bare())

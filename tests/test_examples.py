@@ -27,6 +27,7 @@ def _run(name, *args, timeout=240):
         ("real_network.py", [], "Total order holds"),
         ("distributed_ca.py", [], "bit-identical registries"),
         ("payment_ledger.py", [], "Exactly ONE payment went through"),
+        ("external_client.py", [], "executed exactly once"),
     ],
 )
 def test_example_runs(name, args, expect):
