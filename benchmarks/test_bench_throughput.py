@@ -1,0 +1,164 @@
+"""Request throughput of the batched + pipelined atomic channel.
+
+The tentpole claim (Sec. 4 economics, extended): a burst of N client
+requests costs O(1) agreement rounds instead of O(N) once the channel
+coalesces payload vectors per signer (``max_batch``) and overlaps rounds
+(``pipeline_depth``).  This benchmark drives a concurrent client burst
+through a 4-replica simulated LAN group with ``max_batch=64,
+pipeline_depth=4`` and measures end-to-end *requests per simulated
+second* over the whole burst.
+
+Acceptance (ISSUE 6): throughput must be at least **5x** the committed
+sequential ``client-lan`` baseline (whose throughput is
+``1 / request_e2e_mean_s`` by construction — one request in flight at a
+time).  The exported ``bench-throughput`` record gates the
+lower-is-better forms (``seconds_per_request`` and the burst e2e
+latencies) through the CI perf gate; ``requests_per_s`` itself rides in
+``meta`` where the gate does not invert its direction.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.app.replication import ReplicatedService, StateMachine
+from repro.client import DedupStateMachine, RequestServer
+from repro.client.simnet import SimClientNetwork
+from repro.core.party import make_parties
+from repro.crypto.dealer import fast_group
+from repro.crypto.params import SecurityParams
+from repro.net.latency import lan_latency
+from repro.net.runtime import SimRuntime
+from repro.obs import MemoryRecorder, bench_dir_from_env, make_record, write_record
+
+from conftest import bench_messages, emit
+
+SEED = 47
+MAX_BATCH = 64
+PIPELINE_DEPTH = 4
+CLIENTS = 4
+#: the ISSUE's acceptance multiplier vs the sequential client-lan baseline
+SPEEDUP_FLOOR = 5.0
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+class _Counter(StateMachine):
+    def __init__(self):
+        self.value = 0
+
+    def apply(self, command: bytes) -> bytes:
+        self.value += 1
+        return str(self.value).encode()
+
+    def snapshot(self) -> bytes:
+        return str(self.value).encode()
+
+    def restore(self, snapshot: bytes) -> None:
+        self.value = int(snapshot)
+
+
+def _baseline_sequential_rps() -> float:
+    """Throughput of the committed sequential client-lan baseline."""
+    with open(BASELINE_PATH) as fh:
+        benches = json.load(fh)["benches"]
+    mean = benches["client-lan"]["metrics"]["request_e2e_mean_s"]
+    return 1.0 / mean
+
+
+def _run():
+    recorder = MemoryRecorder()
+    group = fast_group(4, 1, SecurityParams.toy(), sig_mode="multi", seed=SEED)
+    rt = SimRuntime(group, latency=lan_latency(), seed=SEED, recorder=recorder)
+    services = [
+        ReplicatedService(
+            p, "bench", DedupStateMachine(_Counter()),
+            max_batch=MAX_BATCH, pipeline_depth=PIPELINE_DEPTH,
+        )
+        for p in make_parties(rt)
+    ]
+    net = SimClientNetwork(rt)
+    for i, svc in enumerate(services):
+        net.attach(i, RequestServer(
+            svc, max_inflight_per_client=256, max_backlog=1024, obs=recorder,
+        ))
+
+    messages = bench_messages(4.0, minimum=48)
+    clients = [
+        net.connect(f"bench-client-{k}", contact=k % 4, timeout=5.0, seed=SEED)
+        for k in range(CLIENTS)
+    ]
+    start = rt.now
+    futures = [
+        clients[k % CLIENTS].submit(b"inc") for k in range(messages)
+    ]
+    rt.run_all(futures, limit=3000)
+    elapsed = rt.now - start
+    return rt, recorder, services, messages, elapsed
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_batched_pipeline_throughput(benchmark):
+    rt, recorder, services, messages, elapsed = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+    assert elapsed > 0.0
+    rps = messages / elapsed
+
+    # Correctness first: every request executed exactly once, everywhere.
+    assert all(s.state.inner.value == messages for s in services)
+    assert len({s.last_state_digest() for s in services}) == 1
+    assert recorder.counters.get("reqserver.dedup_hits", 0) == 0
+
+    # The burst really was coalesced and pipelined: far fewer agreement
+    # rounds than requests, multi-payload batches on the wire.
+    rounds = recorder.counters["atomic.rounds"] / len(services)
+    assert rounds < messages / 2, (rounds, messages)
+    batch_sizes = recorder.histograms["atomic.batch.size"].values
+    assert max(batch_sizes) > 1
+
+    hist = recorder.histograms["phase.client.request.e2e"]
+    assert hist.count == messages
+
+    baseline_rps = _baseline_sequential_rps()
+    emit(
+        "Batched+pipelined throughput (LAN, concurrent burst, simulated "
+        "seconds):\n"
+        f"  requests: {messages}  clients: {CLIENTS}  "
+        f"max_batch: {MAX_BATCH}  pipeline_depth: {PIPELINE_DEPTH}\n"
+        f"  burst: {elapsed:.3f}s  throughput: {rps:.1f} req/s  "
+        f"(sequential baseline: {baseline_rps:.1f} req/s)\n"
+        f"  rounds/replica: {rounds:.0f}  max batch payloads: "
+        f"{max(batch_sizes):.0f}\n"
+        f"  e2e mean: {hist.mean:.3f}s  p90: {hist.percentile(90):.3f}s"
+    )
+
+    # ISSUE 6 acceptance: >= 5x the sequential client-lan baseline.
+    assert rps >= SPEEDUP_FLOOR * baseline_rps, (
+        f"throughput {rps:.1f} req/s below {SPEEDUP_FLOOR}x the sequential "
+        f"baseline {baseline_rps:.1f} req/s"
+    )
+
+    record = make_record(
+        "bench-throughput",
+        experiment="throughput",
+        meta={
+            "n": 4, "t": 1, "seed": SEED, "messages": messages,
+            "clients": CLIENTS, "max_batch": MAX_BATCH,
+            "pipeline_depth": PIPELINE_DEPTH,
+            # informational (higher is better, so not a gated metric)
+            "requests_per_s": rps,
+            "baseline_sequential_rps": baseline_rps,
+        },
+        metrics={
+            # gated, lower-is-better forms of the same measurements
+            "seconds_per_request": elapsed / messages,
+            "burst_elapsed_s": elapsed,
+            "request_e2e_mean_s": hist.mean,
+            "request_e2e_p90_s": hist.percentile(90),
+        },
+        recorder=recorder,
+    )
+    out_dir = bench_dir_from_env()
+    if out_dir:
+        write_record(out_dir, record)

@@ -130,6 +130,12 @@ class ReplicatedService:
         and, for bounded channels, send buffer not full)."""
         return self.channel is not None and self.channel.can_send()
 
+    def queue_depth(self) -> int:
+        """Commands accepted but not yet ordered (the channel's submit
+        backlog) — the quantity the batching channel coalesces into
+        agreement rounds.  Zero with no open channel."""
+        return 0 if self.channel is None else self.channel.pending()
+
     def close(self) -> None:
         if self.channel is None:
             raise ServiceNotOpen(

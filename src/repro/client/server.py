@@ -157,6 +157,11 @@ class RequestServer:
         if obs.enabled:
             obs.count("reqserver.submitted")
             obs.set_gauge("reqserver.backlog", float(self._backlog))
+            # Channel-side submit backlog: what the batching channel will
+            # coalesce into the next agreement rounds.
+            queue_depth = getattr(self.service, "queue_depth", None)
+            if queue_depth is not None:
+                obs.set_gauge("reqserver.queue.depth", float(queue_depth()))
 
     def _shed(self, client_id: str, seq: int, reason: str) -> None:
         if self.obs.enabled:

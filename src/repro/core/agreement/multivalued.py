@@ -281,6 +281,23 @@ class ArrayAgreement(Agreement):
         else:
             self._vba.propose(0, None)
 
+    # -- teardown ---------------------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Abort this instance and its live sub-protocols.
+
+        Used by the pipelined atomic channel to tear down agreements for
+        rounds past the closing round: the constituent broadcasts and the
+        current binary agreement are aborted so they release their routing
+        state along with the instance itself.
+        """
+        for bc in self._vcbc:
+            if not bc.halted:
+                bc.abort()
+        if self._vba is not None and not self._vba.halted:
+            self._vba.abort()
+        super().abort()
+
     # -- binary agreement outcome ----------------------------------------------------------
 
     def _on_vba_decided(

@@ -86,6 +86,14 @@ class Channel(Protocol):
         """Payloads accepted but not yet delivered (subclass hook)."""
         return 0
 
+    def pending(self) -> int:
+        """Accepted-but-undelivered payloads (the submit backlog).
+
+        The quantity ``max_pending`` bounds; the batching channel drains
+        it by up to ``max_batch`` payloads per agreement round.
+        """
+        return self._submitted + self._pending_count()
+
     def can_receive(self) -> bool:
         return self.outputs.can_get()
 

@@ -33,7 +33,7 @@ _EXPORTS = {
         "StabilityInvariant",
         "TotalOrderInvariant",
     ],
-    "mutator": ["ByzantineMutator", "MutationRates"],
+    "mutator": ["BatchFrameMutator", "ByzantineMutator", "MutationRates"],
     "netchaos": ["ChaosFabric", "ChaosProxy"],
     "schedule": [
         "AgreementScenario",

@@ -253,3 +253,80 @@ class ByzantineMutator:
         if not candidates:
             return None
         return self.rng.choice(candidates)
+
+
+class BatchFrameMutator(ByzantineMutator):
+    """Byzantine mutator specialized for batched atomic-channel frames.
+
+    The pipelined atomic channel carries payload *vectors* on the wire —
+    ``queue`` candidates ``(round, vector, proof)`` and, with offloading,
+    ``body``/``bodyr`` frames ``(round, vector)`` / ``(round, signer,
+    vector)``.  Generic structural mutation rarely lands on the batch
+    shapes the channel's validator must reject, so this subclass replaces
+    the ``mutate`` action on those frames with targeted corruptions:
+
+    * **duplicate** — repeat a record inside the vector (a payload key
+      appearing twice in one batch);
+    * **reorder** — swap two records (breaks per-vector sub-sequencing
+      only if a receiver trusts the signer's order blindly);
+    * **truncate** / **empty** — drop records, down to the malformed
+      zero-length vector;
+    * **record** — structurally corrupt one record in place;
+    * **round** — splice the frame onto a neighbouring agreement round.
+
+    Signer equivocation on batch *content* (two different vectors for the
+    same round) comes from the inherited ``equivocate`` action, which
+    re-sends an earlier differing frame of the same (pid, mtype).  All
+    other frame types fall back to the generic mutator.
+    """
+
+    #: message types of the atomic channel whose payload carries a vector
+    VECTOR_TYPES = frozenset({"queue", "body", "bodyr"})
+
+    def _mutate_body(self, body: bytes) -> Optional[bytes]:
+        try:
+            pid, mtype, payload = decode(body)
+        except (EncodingError, ValueError):
+            return None
+        if isinstance(pid, str) and mtype in self.VECTOR_TYPES:
+            mutated = self._mutate_batch_payload(payload)
+            if mutated is not None:
+                self._did("batch-frame", None)
+                try:
+                    return encode((pid, mtype, mutated))
+                except EncodingError:
+                    return None
+        return super()._mutate_body(body)
+
+    def _mutate_batch_payload(self, payload: Any) -> Optional[Any]:
+        """A batch-specific corruption of one vector-carrying payload."""
+        if not isinstance(payload, (tuple, list)) or not payload:
+            return None
+        parts = list(payload)
+        vec_at = next(
+            (k for k, v in enumerate(parts) if isinstance(v, (tuple, list))),
+            None,
+        )
+        if vec_at is None:
+            return None  # e.g. an offloaded digest candidate: no vector
+        vector = list(parts[vec_at])
+        r = self.rng
+        action = r.choice(
+            ["duplicate", "reorder", "truncate", "record", "round", "empty"]
+        )
+        if action == "duplicate" and vector:
+            vector.insert(r.randrange(len(vector) + 1), r.choice(vector))
+        elif action == "reorder" and len(vector) >= 2:
+            i, j = r.sample(range(len(vector)), 2)
+            vector[i], vector[j] = vector[j], vector[i]
+        elif action == "truncate" and len(vector) >= 2:
+            vector = vector[: r.randrange(1, len(vector))]
+        elif action == "record" and vector:
+            k = r.randrange(len(vector))
+            vector[k] = mutate_value(r, vector[k])
+        elif action == "round" and isinstance(parts[0], int):
+            parts[0] = parts[0] + r.choice([-1, 1, 7])
+        else:
+            vector = []
+        parts[vec_at] = vector
+        return tuple(parts)

@@ -60,7 +60,7 @@ from repro.testing.invariants import (
     StabilityInvariant,
     TotalOrderInvariant,
 )
-from repro.testing.mutator import ByzantineMutator
+from repro.testing.mutator import BatchFrameMutator, ByzantineMutator
 
 
 # --- fault plans ------------------------------------------------------------------
@@ -163,6 +163,12 @@ class Scenario:
 
     name = "scenario"
 
+    #: wire-mutator class for compromised parties; ``None`` means the
+    #: generic :class:`~repro.testing.mutator.ByzantineMutator`.  Scenarios
+    #: whose wire format has structure worth targeting (e.g. the batched
+    #: atomic channel) install a specialized subclass here.
+    mutator_factory: Optional[Callable[..., ByzantineMutator]] = None
+
     def setup(
         self,
         runtime: SimRuntime,
@@ -186,6 +192,11 @@ class ChannelScenario(Scenario):
     #: kind -> (factory attribute on Party, extra kwargs)
     KINDS: Dict[str, Tuple[str, Dict[str, Any]]] = {
         "atomic": ("atomic_channel", {}),
+        "batched": ("atomic_channel", {"max_batch": 4, "pipeline_depth": 2}),
+        "offload": (
+            "atomic_channel",
+            {"max_batch": 4, "pipeline_depth": 2, "offload": True},
+        ),
         "secure": ("secure_atomic_channel", {}),
         "optimistic": ("optimistic_atomic_channel", {"suspect_timeout": 2.0}),
         "stability": ("stabilized_consistent_channel", {}),
@@ -196,6 +207,7 @@ class ChannelScenario(Scenario):
         kind: str,
         messages_per_party: int = 2,
         channel_overrides: Optional[Dict[int, Callable[[Party], Any]]] = None,
+        mutator_factory: Optional[Callable[..., ByzantineMutator]] = None,
     ):
         if kind not in self.KINDS:
             raise ValueError(f"unknown channel kind {kind!r}")
@@ -203,6 +215,8 @@ class ChannelScenario(Scenario):
         self.kind = kind
         self.messages_per_party = messages_per_party
         self.channel_overrides = channel_overrides or {}
+        if mutator_factory is not None:
+            self.mutator_factory = mutator_factory
 
     def _make_channel(self, party: Party) -> Any:
         override = self.channel_overrides.get(party.id)
@@ -331,6 +345,12 @@ def _ledger_keys(n: int):
 
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "atomic": lambda: ChannelScenario("atomic"),
+    "batched": lambda: ChannelScenario(
+        "batched", messages_per_party=4, mutator_factory=BatchFrameMutator
+    ),
+    "offload": lambda: ChannelScenario(
+        "offload", messages_per_party=4, mutator_factory=BatchFrameMutator
+    ),
     "secure": lambda: ChannelScenario("secure"),
     "optimistic": lambda: ChannelScenario("optimistic"),
     "stability": lambda: ChannelScenario("stability"),
@@ -444,7 +464,8 @@ def run_case(
         group, latency=lan_latency(), seed=("fuzz", case_seed), faults=faults
     )
     if compromised:
-        mutator = ByzantineMutator(
+        factory = scenario.mutator_factory or ByzantineMutator
+        mutator = factory(
             group, compromised, rng_mod.derive(case_seed, "mutator")
         )
         runtime.wire_taps.append(mutator)

@@ -35,20 +35,20 @@ PLANTED_SEED = 0x5EED
 class ReversedOrderChannel(AtomicChannel):
     """Planted bug: delivers agreed batches in reversed signer order."""
 
-    def _on_batch_decided(self, mvba, value, closing):
-        batch = self._decode_batch(self.round, value)
-        r = self.round
-        for signer, record, _ in sorted(batch, key=lambda e: -e[0]):  # BUG
-            self._deliver_record(record)
+    def _deliver_round(self, r, batch, resolved):
+        for signer, vector in sorted(resolved, key=lambda e: -e[0]):  # BUG
+            for record in vector:
+                self._deliver_record(record, r)
         self.rounds_completed += 1
-        self._mvba = None
         self._candidates.pop(r, None)
+        self._emitted.discard(r)
+        self._emitted_keys.pop(r, None)
         if len(self._close_origins) >= self.ctx.t + 1:
+            self._closing = True
+            self._abort_inflight()
             self._finish()
             return
         self.round = r + 1
-        self._try_emit()
-        self._maybe_propose()
 
 
 def _buggy_atomic_scenario() -> ChannelScenario:
