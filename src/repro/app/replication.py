@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import abc
 import hashlib
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.common.encoding import encode
-from repro.common.errors import ChannelCongested, ServiceNotOpen
+from repro.common.errors import ChannelCongested, EpochMismatch, ServiceNotOpen
 from repro.core.party import Party
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     # Re-exported so service callers can catch backpressure distinctly
     # from other protocol errors (see submit()).
     "ChannelCongested",
+    "EpochMismatch",
     "ServiceNotOpen",
 ]
 
@@ -99,16 +100,25 @@ class ReplicatedService:
     def _open_channel(self, **extra_kwargs: Any):
         """Create the (possibly resumed) channel and hook up delivery."""
         kwargs = {**self._channel_kwargs, **extra_kwargs}
+        pid = self._channel_pid()
         if self.secure:
-            self.channel = self.party.secure_atomic_channel(self.pid, **kwargs)
+            self.channel = self.party.secure_atomic_channel(pid, **kwargs)
         else:
-            self.channel = self.party.atomic_channel(self.pid, **kwargs)
+            self.channel = self.party.atomic_channel(pid, **kwargs)
         self.channel.on_output = self._on_command
         return self.channel
 
+    def _channel_pid(self) -> str:
+        """The wire protocol id the channel registers under.
+
+        Membership-aware subclasses tag this with the current epoch so
+        frames — and the statements signed over them, which embed the
+        pid — from a superseded epoch are rejected outright."""
+        return self.pid
+
     # -- client side --------------------------------------------------------------
 
-    def submit(self, command: bytes) -> None:
+    def submit(self, command: bytes, epoch: Optional[int] = None) -> None:
         """Broadcast a state update; it executes once totally ordered.
 
         Raises :class:`~repro.common.errors.ServiceNotOpen` if the channel
@@ -117,7 +127,17 @@ class ReplicatedService:
         channel (``max_pending=...``) has a full send buffer — the latter
         is retryable: check ``can_submit()`` first or retry after
         deliveries drain.
+
+        ``epoch`` optionally pins the submission to a membership epoch:
+        if the replica has since reconfigured, the command is refused
+        with :class:`~repro.common.errors.EpochMismatch` instead of being
+        silently ordered under a group the caller did not intend.
         """
+        if epoch is not None and epoch != self.membership_epoch:
+            raise EpochMismatch(
+                f"submit pinned to epoch {epoch} but service {self.pid!r} "
+                f"is at membership epoch {self.membership_epoch}"
+            )
         if self.channel is None:
             raise ServiceNotOpen(
                 f"service {self.pid!r} has no open channel yet: "
@@ -151,6 +171,21 @@ class ReplicatedService:
         self.log.append((command, result))
 
     # -- inspection ----------------------------------------------------------------------
+
+    @property
+    def membership_epoch(self) -> int:
+        """The current membership epoch (0 for a static service).
+
+        ``repro.membership.ReconfigurableService`` overrides this; the
+        plain service is forever at the dealt epoch."""
+        return 0
+
+    def membership_info(self) -> Tuple[int, bytes]:
+        """``(epoch, roster-digest-prefix)`` advertised in client replies.
+
+        A static service has no roster; clients treat the empty digest as
+        "membership never changes"."""
+        return (0, b"")
 
     @property
     def applied(self) -> int:

@@ -121,6 +121,9 @@ class SintraClient:
         )
         self._next_seq = 0
         self._pending: Dict[int, _Request] = {}
+        #: newest membership view any replica has advertised in a reply
+        self.membership_epoch = 0
+        self.roster_digest = b""
 
     # -- submission ----------------------------------------------------------------
 
@@ -209,8 +212,10 @@ class SintraClient:
     # -- replies ---------------------------------------------------------------------
 
     def on_reply(self, replica: int, seq: int, status: int,
-                 result: bytes) -> None:
+                 result: bytes, epoch: int = 0,
+                 roster_digest: bytes = b"") -> None:
         """Feed one reply from ``replica`` (transport-authenticated id)."""
+        self._note_membership(replica, epoch, roster_digest)
         request = self._pending.get(seq)
         if request is None:
             if self.obs.enabled:
@@ -251,6 +256,32 @@ class SintraClient:
                                request.vote.conflicting_replicas())
             self.obs.phase_end((self.client_id, seq))
         request.future.resolve(winner)
+
+    # -- membership tracking -----------------------------------------------------------
+
+    def _note_membership(self, replica: int, epoch: int,
+                         roster_digest: bytes) -> None:
+        """Adopt a strictly newer membership view advertised by a reply.
+
+        A reply is this client's only window into the group, so the
+        trailing ``(epoch, roster-digest)`` pair doubles as a
+        reconfiguration beacon.  On a newer epoch the client refreshes its
+        contact to the advertising replica: that replica is demonstrably
+        live *in the new epoch*, whereas the old contact may be exactly
+        the one that was replaced.  A lying replica can only make the
+        client switch contacts — the ``t + 1`` reply vote, not the
+        contact choice, protects the result, and the timeout failover
+        path recovers from any bad contact.
+        """
+        if epoch <= self.membership_epoch:
+            return
+        self.membership_epoch = epoch
+        self.roster_digest = bytes(roster_digest)
+        if replica != self.contact:
+            self.contact = replica
+        if self.obs.enabled:
+            self.obs.count("client.membership.refreshes")
+            self.obs.set_gauge("client.membership.epoch", float(epoch))
 
 
 __all__ = ["SintraClient", "ClientLink", "Timer"]

@@ -43,7 +43,7 @@ STATUS_OVERLOADED = 1
 # -- client -> replica / replica -> client frame kinds (TCP transport) --------
 MSG_HELLO = "chl"  # ("chl", client_id)
 MSG_REQUEST = "crq"  # ("crq", client_id, seq, command)
-MSG_REPLY = "crp"  # ("crp", seq, status, result)
+MSG_REPLY = "crp"  # ("crp", seq, status, result, epoch, roster_digest)
 
 
 def make_envelope(client_id: str, seq: int, command: bytes) -> bytes:
@@ -136,14 +136,28 @@ def check_request_frame(fields: Any) -> Optional[Tuple[str, int, bytes]]:
     return client_id, seq, command
 
 
-def check_reply_frame(fields: Any) -> Optional[Tuple[int, int, bytes]]:
-    """Validate a decoded ``MSG_REPLY`` tuple from the wire."""
-    if not (isinstance(fields, tuple) and len(fields) == 4
+def check_reply_frame(fields: Any) -> Optional[Tuple[int, int, bytes, int, bytes]]:
+    """Validate a decoded ``MSG_REPLY`` tuple from the wire.
+
+    Replies advertise the replica's membership view as a trailing
+    ``(epoch, roster_digest)`` pair so a client can notice — from any
+    single honest replica — that the group has reconfigured and refresh
+    its contact set (:meth:`repro.client.client.SintraClient`).  The
+    pre-membership 4-field frame is still accepted and reads as the
+    static view ``(0, b"")``.
+    """
+    if not (isinstance(fields, tuple) and len(fields) in (4, 6)
             and fields[0] == MSG_REPLY):
         return None
-    _kind, seq, status, result = fields
+    _kind, seq, status, result = fields[:4]
     if not (isinstance(seq, int) and seq >= 0
             and status in (STATUS_OK, STATUS_OVERLOADED)
             and isinstance(result, bytes)):
         return None
-    return seq, status, result
+    epoch, digest = 0, b""
+    if len(fields) == 6:
+        epoch, digest = fields[4], fields[5]
+        if not (isinstance(epoch, int) and epoch >= 0
+                and isinstance(digest, bytes)):
+            return None
+    return seq, status, result, epoch, digest

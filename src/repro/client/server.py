@@ -33,11 +33,17 @@ from repro.app.replication import ReplicatedService
 from repro.client.dedup import DedupStateMachine
 from repro.client.protocol import STATUS_OVERLOADED, make_envelope
 from repro.common.encoding import decode
-from repro.common.errors import ChannelCongested, ServiceNotOpen
+from repro.common.errors import (
+    ChannelCongested,
+    ReconfigInProgress,
+    ServiceNotOpen,
+)
 from repro.obs import recorder as _recorder
 
-#: ``send_reply(seq, status, result)`` — one registered per connected client
-ReplySender = Callable[[int, int, bytes], None]
+#: ``send_reply(seq, status, result, epoch, roster_digest)`` — one
+#: registered per connected client; the trailing pair advertises the
+#: replica's membership view so clients track reconfigurations.
+ReplySender = Callable[[int, int, bytes, int, bytes], None]
 
 
 class RequestServer:
@@ -146,6 +152,11 @@ class RequestServer:
 
         try:
             self.service.submit(make_envelope(client_id, seq, command))
+        except ReconfigInProgress:
+            # The group is draining to an epoch barrier; the pause is
+            # bounded, so this is the same retryable shed as congestion.
+            self._shed(client_id, seq, "reconfig")
+            return
         except (ChannelCongested, ServiceNotOpen):
             self._shed(client_id, seq, "channel")
             return
@@ -194,7 +205,8 @@ class RequestServer:
             return
         if self.obs.enabled:
             self.obs.count("reqserver.replies")
-        sender(seq, status, result)
+        epoch, digest = self.service.membership_info()
+        sender(seq, status, result, epoch, digest)
 
     def _reply_encoded(self, client_id: str, seq: int,
                        encoded_reply: Optional[bytes]) -> None:

@@ -120,7 +120,8 @@ class SimClientNetwork:
         self.runtime.sim.schedule(self._delay(), arrive)
 
     def _deliver_reply(self, link: "SimClientLink", replica: int, seq: int,
-                       status: int, result: bytes) -> None:
+                       status: int, result: bytes, epoch: int = 0,
+                       digest: bytes = b"") -> None:
         if replica not in self._servers:
             return
         for tap in self.reply_taps:
@@ -132,7 +133,8 @@ class SimClientNetwork:
 
         def arrive(status=status, result=result) -> None:
             if link.client is not None:
-                link.client.on_reply(replica, seq, status, result)
+                link.client.on_reply(replica, seq, status, result,
+                                     epoch, digest)
 
         self.runtime.sim.schedule(self._delay(), arrive)
 
@@ -149,8 +151,10 @@ class SimClientLink:
 
     def _register_on(self, replica: int, server: RequestServer) -> None:
         def send_reply(seq: int, status: int, result: bytes,
+                       epoch: int = 0, digest: bytes = b"",
                        _replica: int = replica) -> None:
-            self.net._deliver_reply(self, _replica, seq, status, result)
+            self.net._deliver_reply(self, _replica, seq, status, result,
+                                    epoch, digest)
 
         server.register_client(self.client_id, send_reply)
 

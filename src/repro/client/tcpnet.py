@@ -9,7 +9,10 @@ the same length-prefixed canonical encoding the mesh uses:
   connection; registers the connection as ``client_id``'s reply session
   on that replica (latest connection wins);
 * ``("crq", client_id, seq, command)`` — a request;
-* ``("crp", seq, status, result)`` — a pushed reply.
+* ``("crp", seq, status, result, epoch, roster_digest)`` — a pushed
+  reply, trailing the replica's membership view (clients of static
+  pre-membership replicas still parse: the 4-field form reads as epoch
+  0 — see :func:`repro.client.protocol.check_reply_frame`).
 
 Clients are deliberately **unauthenticated** (the paper's clients hold no
 group keys): a replica will execute any well-formed request, and a client
@@ -110,10 +113,11 @@ class TcpRequestListener:
                 return
             client_id = hello[1]
 
-            def send_reply(seq: int, status: int, result: bytes) -> None:
+            def send_reply(seq: int, status: int, result: bytes,
+                           epoch: int = 0, digest: bytes = b"") -> None:
                 try:
                     writer.write(_framed(encode(
-                        (MSG_REPLY, seq, status, result))))
+                        (MSG_REPLY, seq, status, result, epoch, digest))))
                 except (ConnectionError, OSError, RuntimeError):
                     pass  # dying connection; the client will reconnect
 

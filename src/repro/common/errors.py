@@ -59,6 +59,35 @@ class ServiceNotOpen(ReproError):
     ``start()`` or ``recover()`` first, or wait for recovery to finish."""
 
 
+class MembershipError(ReproError):
+    """Base class for group-membership / epoch-reconfiguration failures."""
+
+
+class EpochMismatch(MembershipError):
+    """A message, certificate, or request belongs to a different
+    membership epoch than this replica's current one.
+
+    Raised when a caller submits against a stale epoch view
+    (``ReplicatedService.submit(..., epoch=...)``), and when state
+    transfer offers a checkpoint certified for an epoch older than the
+    recovering replica's configured ``min_epoch`` — a mobile adversary
+    must not be able to roll a successor back behind a reconfiguration.
+    Key shares from a superseded epoch fail cryptographic verification
+    outright (rotated verification keys); this error is the *typed*
+    surface for the cases that are detected before any crypto runs."""
+
+
+class ReconfigInProgress(MembershipError):
+    """The group is between epochs: the reconfiguration barrier has
+    committed and the channel is frozen until the epoch transition
+    (resharing + channel cutover) completes.
+
+    Retryable in exactly the sense of :class:`ChannelCongested` — the
+    transition is local work measured in milliseconds, so callers should
+    simply retry; request servers translate it into the same
+    ``STATUS_OVERLOADED`` shed as channel backpressure."""
+
+
 class ClientError(ReproError):
     """Base class for failures in the external-client layer."""
 

@@ -127,6 +127,8 @@ class AtomicChannel(Channel):
         resume_delivered: Optional[Iterable[Tuple[int, int]]] = None,
         resume_close_origins: Optional[Iterable[int]] = None,
         resume_next_seq: int = 0,
+        resume_own_records: Optional[Iterable[Record]] = None,
+        resume_pending: Optional[Iterable[Record]] = None,
     ):
         super().__init__(ctx, pid, max_pending=max_pending)
         n, t = ctx.n, ctx.t
@@ -159,6 +161,21 @@ class AtomicChannel(Channel):
             (int(o), int(s)) for o, s in (resume_delivered or ())
         )
         self._close_origins: Set[int] = set(int(o) for o in (resume_close_origins or ()))
+        # Epoch handover: records harvested from a frozen predecessor
+        # channel re-enter here — own sends re-emit from the own queue,
+        # foreign records rejoin the adoption pool (fairness carries over).
+        for raw in resume_own_records or ():
+            record = self._check_record(tuple(raw))
+            if record is not None and (record[0], record[1]) not in self._delivered:
+                self._own_queue.append(record)
+        for raw in resume_pending or ():
+            record = self._check_record(tuple(raw))
+            if record is not None and (record[0], record[1]) not in self._delivered:
+                self._pending.setdefault((record[0], record[1]), record)
+        if self._own_queue or self._pending:
+            # Carried-over records must re-enter agreement without waiting
+            # for a fresh send; pump once construction has finished.
+            ctx.defer(self._pump)
         #: rounds for which this party's signed candidate is already out
         self._emitted: Set[int] = set()
         #: round -> keys inside this party's emitted candidate (in-flight)
@@ -184,6 +201,25 @@ class AtomicChannel(Channel):
         #: allocated for an own send, with the *next* unused sequence number
         #: (persist it before the signed record can reach any peer).
         self.on_own_enqueue: Optional[Callable[[int], None]] = None
+        #: membership hook: a *pure* predicate on delivered application
+        #: payloads (every honest party evaluates it identically at the
+        #: same slot).  When it fires, the record just delivered is the
+        #: final slot of this channel's epoch: delivery stops mid-batch,
+        #: in-flight agreements abort, the channel freezes, and
+        #: ``on_barrier(round)`` is invoked.  Undelivered records are
+        #: harvested with :meth:`harvest_resume` and carried into the
+        #: successor channel.
+        self.barrier_predicate: Optional[Callable[[bytes], bool]] = None
+        #: membership hook: called once, synchronously, when the barrier
+        #: freezes the channel, with the barrier round number.
+        self.on_barrier: Optional[Callable[[int], None]] = None
+        #: set at epoch cutover: a frozen channel forwards late own
+        #: submissions here (``send()`` defers ``_submit`` through the
+        #: scheduler, so one may land after the harvest — without the
+        #: forward it would be silently lost).
+        self.successor: Optional["AtomicChannel"] = None
+        self._barrier_hit = False
+        self._frozen = False
         # -- offload state -----------------------------------------------------
         if self.offload:
             crypto = ctx.crypto
@@ -221,6 +257,9 @@ class AtomicChannel(Channel):
         self._enqueue_own(KIND_CLOSE, b"")
 
     def _enqueue_own(self, kind: int, data: bytes) -> None:
+        if self._frozen and self.successor is not None:
+            self.successor._enqueue_own(kind, data)
+            return
         record: Record = (self.ctx.node_id, self._own_next_seq, kind, data)
         self._own_next_seq += 1
         if self.on_own_enqueue is not None:
@@ -235,7 +274,7 @@ class AtomicChannel(Channel):
 
     def _pump(self) -> None:
         """Emit candidates and start agreements across the pipeline window."""
-        if self._terminated or self._closing:
+        if self._terminated or self._closing or self._frozen:
             return
         for r in range(self.round, self.round + self.pipeline_depth):
             if r in self._decided:
@@ -299,7 +338,7 @@ class AtomicChannel(Channel):
     # -- candidate and body handling --------------------------------------------------------
 
     def on_message(self, sender: int, mtype: str, payload: Any) -> None:
-        if self.halted:
+        if self.halted or self._frozen:
             return
         if mtype == MSG_QUEUE:
             self._on_candidate(sender, payload)
@@ -385,6 +424,7 @@ class AtomicChannel(Channel):
             or r in self._decided
             or self._terminated
             or self._closing
+            or self._frozen
         ):
             return
         round_candidates = self._candidates.get(r, {})
@@ -506,7 +546,7 @@ class AtomicChannel(Channel):
     # -- delivery ------------------------------------------------------------------------------------
 
     def _on_round_decided(self, r: int, value: bytes) -> None:
-        if self._terminated or self._closing:
+        if self._terminated or self._closing or self._frozen:
             return
         self._mvbas.pop(r, None)
         if r < self.round or r in self._decided:
@@ -531,6 +571,7 @@ class AtomicChannel(Channel):
         while (
             not self._terminated
             and not self._closing
+            and not self._frozen
             and self.round in self._decided
         ):
             r = self.round
@@ -579,6 +620,10 @@ class AtomicChannel(Channel):
         for signer, vector in sorted(resolved, key=lambda e: e[0]):
             for record in vector:
                 delivered_now += self._deliver_record(record, r)
+                if self._barrier_hit:
+                    break
+            if self._barrier_hit:
+                break
         self.rounds_completed += 1
         self._candidates.pop(r, None)
         self._emitted.discard(r)
@@ -590,9 +635,27 @@ class AtomicChannel(Channel):
             self.obs.count("atomic.batch.payloads", delivered_now)
             self.obs.observe("atomic.batch.size", float(delivered_now))
         if len(self._close_origins) >= self.ctx.t + 1:
+            # Closing always wins over a barrier: a channel that has
+            # collected t+1 close requests terminates for good.
             self._closing = True
             self._abort_inflight()
             self._finish()
+            return
+        if self._barrier_hit:
+            # The barrier record is the last slot of its epoch.  Records
+            # of this batch sequenced after it are NOT delivered here —
+            # they rejoin the adoption pool and carry over to the epoch
+            # e+1 channel, which delivers them under its own (fresh)
+            # round numbering.  The round is deliberately not advanced:
+            # this channel is done.
+            for _signer, vector in resolved:
+                self._absorb(vector)
+            self._frozen = True
+            self._abort_inflight()
+            if self.obs.enabled:
+                self.obs.count("atomic.barrier")
+            if self.on_barrier is not None:
+                self.on_barrier(r)
             return
         self.round = r + 1
 
@@ -618,6 +681,12 @@ class AtomicChannel(Channel):
         if kind == KIND_CLOSE:
             self._close_origins.add(origin)
         else:
+            if (
+                kind == KIND_APP
+                and self.barrier_predicate is not None
+                and self.barrier_predicate(data)
+            ):
+                self._barrier_hit = True
             self._handle_delivered_payload(origin, seq, kind, data)
         return 1
 
@@ -766,6 +835,46 @@ class AtomicChannel(Channel):
     def close_origin_list(self) -> List[int]:
         """Sorted origins whose close requests have been delivered."""
         return sorted(self._close_origins)
+
+    @property
+    def frozen(self) -> bool:
+        """True once the epoch barrier has frozen this channel."""
+        return self._frozen
+
+    def harvest_resume(self) -> Dict[str, Any]:
+        """Everything a successor channel needs to continue this one.
+
+        Returned as keyword arguments for the constructor's ``resume_*``
+        parameters: the delivered-key set (cross-epoch duplicate
+        suppression — per-origin sequence numbers continue across
+        epochs), surviving close origins, the next own sequence number,
+        and the undelivered records (own queue and adoption pool) that
+        must re-enter agreement in the next epoch."""
+        return dict(
+            resume_delivered=self.delivered_keys(),
+            resume_close_origins=self.close_origin_list(),
+            resume_next_seq=self._own_next_seq,
+            resume_own_records=[
+                rec for rec in self._own_queue
+                if (rec[0], rec[1]) not in self._delivered
+            ],
+            resume_pending=[
+                rec for key, rec in self._pending.items()
+                if key not in self._delivered
+            ],
+        )
+
+    def abort(self) -> None:
+        """Tear the channel down without delivering anything further.
+
+        Used at the epoch cutover after :meth:`harvest_resume`: in-flight
+        agreements abort, the protocol unregisters (its pid is
+        tombstoned, so straggling old-epoch frames are dropped at the
+        router), and the ``closed`` future is left unresolved — the
+        channel did not close, it was superseded."""
+        self._frozen = True
+        self._abort_inflight()
+        super().abort()
 
     def _handle_delivered_payload(
         self, origin: int, seq: int, kind: int, data: bytes

@@ -188,6 +188,16 @@ class Router:
         dropped = self._buffers.pop(pid, [])
         self._buffered_count -= len(dropped)
 
+    def forget(self, pid: str) -> None:
+        """Clear a tombstone so a successor instance may register the id.
+
+        Membership handover needs this: the state-transfer exchange id is
+        deliberately epoch-less (a newcomer must pull checkpoints from any
+        epoch), so when a replaced replica's process is simulated on the
+        same router, the successor re-registers the retired id.  Messages
+        arriving in the gap buffer as usual until the successor appears."""
+        self._tombstones.discard(pid)
+
     def dispatch(self, sender: int, pid: str, mtype: str, payload: Any) -> None:
         if pid not in self._replaying:
             protocol = self._instances.get(pid)

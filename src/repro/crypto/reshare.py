@@ -1,0 +1,136 @@
+"""Proactive share refresh: re-randomizing threshold shares in place.
+
+The classic proactive-security construction (Herzberg et al., adapted
+here to a trusted refresh authority standing in for SINTRA's dealer): to
+refresh a degree-``k-1`` Shamir sharing of a secret ``x`` over Z_q, add a
+fresh random polynomial ``z`` of the same degree with ``z(0) = 0``:
+
+    new_share_i = old_share_i + z(i)   (mod q)
+
+The shared secret ``f(0) + z(0) = x`` is unchanged — so the *group* keys
+(the coin's ``g^x``, TDH2's ``h = g^x``) stay stable and external parties
+notice nothing — while every per-party share and verification key
+``g^{share_i}`` rotates.  A mobile adversary holding up to ``t`` shares
+from the old epoch learns nothing that combines with shares from the new
+epoch: the two sharings are independent random polynomials agreeing only
+at 0, and the rotated verification keys make stale shares *provably*
+useless (they fail the Chaum-Pedersen / NIZK share checks under the new
+keys).
+
+For Shoup RSA threshold signatures the sharing lives modulo the secret
+``m = p'q'``, which the parties must never learn — so refresh is a fresh
+dealer run over the *same* RSA key (same safe primes, hence the same
+``(modulus, e, d)``): a new polynomial and a new verification base ``v``
+rotate all shares and share-verification keys while every previously
+combined signature stays valid.  Multi-signature mode has no threshold
+secret to refresh; its epoch separation comes from epoch-tagged protocol
+ids (see ``repro.membership``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import CryptoError
+from repro.crypto import arith, params as params_mod
+from repro.crypto.coin import CoinPublicKey, ThresholdCoin
+from repro.crypto.threshold_enc import TDH2PublicKey, TDH2Scheme
+from repro.crypto.threshold_sig import ShoupThresholdScheme
+
+
+def zero_shares(n: int, k: int, modulus: int, rng: random.Random) -> List[int]:
+    """Shares ``z(1)..z(n)`` of a fresh degree-``k-1`` polynomial with
+    ``z(0) = 0`` (the refresh polynomial), as a 1-based-order list."""
+    if not 1 <= k <= n:
+        raise CryptoError(f"invalid threshold k={k} for n={n}")
+    coeffs = [0] + [rng.randrange(modulus) for _ in range(k - 1)]
+    return [arith.poly_eval(coeffs, i, modulus) for i in range(1, n + 1)]
+
+
+def refresh_field_shares(
+    shares: Sequence[int], k: int, modulus: int, rng: random.Random
+) -> List[int]:
+    """Re-randomize a Z_q sharing without changing the shared secret."""
+    delta = zero_shares(len(shares), k, modulus, rng)
+    return [(int(s) + z) % modulus for s, z in zip(shares, delta)]
+
+
+def refresh_coin(
+    coin: ThresholdCoin,
+    shares: Sequence[int],
+    rng: random.Random,
+    domain: Optional[str] = None,
+) -> Tuple[ThresholdCoin, List[int]]:
+    """A refreshed coin scheme: same ``global_vk = g^x``, rotated shares
+    and per-party verification keys.  Shares released under the old
+    scheme fail ``verify_share`` under the new one."""
+    grp = coin.public.group
+    new_shares = refresh_field_shares(shares, coin.k, grp.q, rng)
+    vks = tuple(arith.mexp(grp.g, s, grp.p) for s in new_shares)
+    public = CoinPublicKey(
+        group=grp, global_vk=coin.public.global_vk, verification_keys=vks
+    )
+    return (
+        ThresholdCoin(coin.n, coin.k, coin.t, public,
+                      domain if domain is not None else coin.domain),
+        new_shares,
+    )
+
+
+def refresh_enc(
+    enc: TDH2Scheme,
+    shares: Sequence[int],
+    rng: random.Random,
+    domain: Optional[str] = None,
+) -> Tuple[TDH2Scheme, List[int]]:
+    """A refreshed TDH2 scheme: same group key ``h`` (and therefore the
+    same ``gbar``, which is derived from ``h``), rotated decryption
+    shares and verification keys.  Ciphertexts encrypted under the old
+    public key stay decryptable by the new share set."""
+    grp = enc.public.group
+    new_shares = refresh_field_shares(shares, enc.k, grp.q, rng)
+    vks = tuple(arith.mexp(grp.g, s, grp.p) for s in new_shares)
+    public = TDH2PublicKey(
+        group=grp, gbar=enc.public.gbar, h=enc.public.h, verification_keys=vks
+    )
+    return (
+        TDH2Scheme(enc.n, enc.k, enc.t, public,
+                   domain if domain is not None else enc.domain),
+        new_shares,
+    )
+
+
+def redeal_shoup(
+    scheme: ShoupThresholdScheme,
+    sig_modbits: int,
+    rng: random.Random,
+    domain: Optional[str] = None,
+) -> Tuple[ShoupThresholdScheme, List[int]]:
+    """Refresh a Shoup threshold signature scheme.
+
+    Re-runs the deal from the *same* cached safe primes, so the RSA key
+    ``(modulus, e, d)`` — and with it the validity of every already
+    combined signature — is unchanged, while the share polynomial and the
+    verification base ``v`` (hence all share-verification keys) rotate.
+    """
+    safe_p, safe_q = params_mod.get_rsa_safe_primes(sig_modbits)
+    fresh, shares = ShoupThresholdScheme.deal(
+        scheme.n, scheme.k, scheme.t, safe_p, safe_q, rng,
+        domain if domain is not None else scheme.domain,
+    )
+    if fresh.public.modulus != scheme.public.modulus:
+        raise CryptoError(
+            "shoup refresh produced a different RSA modulus: the cached "
+            "safe primes do not match the dealt scheme"
+        )
+    return fresh, shares
+
+
+__all__ = [
+    "zero_shares",
+    "refresh_field_shares",
+    "refresh_coin",
+    "refresh_enc",
+    "redeal_shoup",
+]

@@ -68,6 +68,8 @@ def make_package(
     delivered: List[Tuple[int, int]],
     close_origins: List[int],
     base_round: int,
+    epoch: int = 0,
+    roster: Optional[List[Optional[str]]] = None,
 ) -> bytes:
     """Canonical encoding of (snapshot, delivered keys, closes, next round).
 
@@ -75,26 +77,41 @@ def make_package(
     ``base_round`` is derived from the last covered slot's round, so all
     honest replicas produce identical bytes and their signature shares
     combine.
+
+    Membership-aware services additionally record their epoch and roster
+    (slot → member uid, ``None`` for a vacant slot), extending the
+    encoding to a 6-tuple; the plain 4-tuple form is kept byte-identical
+    for static groups so existing certificates stay valid.
     """
-    return encode((
+    base = (
         snapshot,
         sorted((int(o), int(s)) for o, s in delivered),
         sorted(int(o) for o in close_origins),
         int(base_round),
-    ))
+    )
+    if epoch == 0 and roster is None:
+        return encode(base)
+    if roster is None:
+        raise CheckpointError("an epoch > 0 package must carry its roster")
+    return encode(base + (int(epoch), list(roster)))
 
 
-def parse_package(
+def parse_package_full(
     package: bytes,
-) -> Tuple[bytes, List[Tuple[int, int]], Set[int], int]:
-    """Decode and shape-check a checkpoint package from an untrusted peer."""
+) -> Tuple[bytes, List[Tuple[int, int]], Set[int], int, int,
+           Optional[List[Optional[str]]]]:
+    """Decode and shape-check a checkpoint package from an untrusted peer.
+
+    Returns ``(snapshot, delivered, closes, base_round, epoch, roster)``;
+    a legacy 4-tuple package parses as epoch 0 with ``roster = None``.
+    """
     try:
         parsed = decode(package)
     except EncodingError as exc:
         raise CheckpointError("undecodable checkpoint package") from exc
-    if not (isinstance(parsed, tuple) and len(parsed) == 4):
-        raise CheckpointError("checkpoint package must be a 4-tuple")
-    snapshot, delivered, closes, base_round = parsed
+    if not (isinstance(parsed, tuple) and len(parsed) in (4, 6)):
+        raise CheckpointError("checkpoint package must be a 4- or 6-tuple")
+    snapshot, delivered, closes, base_round = parsed[:4]
     if not isinstance(snapshot, bytes):
         raise CheckpointError("package snapshot must be bytes")
     if not isinstance(delivered, list) or not isinstance(closes, list):
@@ -113,7 +130,26 @@ def parse_package(
         origins.add(origin)
     if not isinstance(base_round, int) or base_round < 1:
         raise CheckpointError("package base round malformed")
-    return snapshot, keys, origins, base_round
+    epoch = 0
+    roster: Optional[List[Optional[str]]] = None
+    if len(parsed) == 6:
+        epoch, raw_roster = parsed[4], parsed[5]
+        if not isinstance(epoch, int) or epoch < 0:
+            raise CheckpointError("package epoch malformed")
+        if not isinstance(raw_roster, list):
+            raise CheckpointError("package roster must be a list")
+        for member in raw_roster:
+            if member is not None and not isinstance(member, str):
+                raise CheckpointError("package roster member malformed")
+        roster = list(raw_roster)
+    return snapshot, keys, origins, base_round, epoch, roster
+
+
+def parse_package(
+    package: bytes,
+) -> Tuple[bytes, List[Tuple[int, int]], Set[int], int]:
+    """Legacy accessor: the first four fields of :func:`parse_package_full`."""
+    return parse_package_full(package)[:4]
 
 
 @dataclass(frozen=True)

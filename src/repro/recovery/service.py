@@ -52,7 +52,7 @@ from repro.recovery.checkpoint import (
     checkpoint_signer,
     checkpoint_statement,
     make_package,
-    parse_package,
+    parse_package_full,
 )
 from repro.recovery.wal import FSYNC_BATCH, DeliveryLog, SlotTuple
 
@@ -143,6 +143,10 @@ class RecoverableService(ReplicatedService):
         self._base_delivered: List[Tuple[int, int]] = []
         self._base_closes: Set[int] = set()
         self._base_round = 1
+        #: membership fields of the newest certificate (6-tuple packages;
+        #: a static group stays at epoch 0 with no roster)
+        self._base_epoch = 0
+        self._base_roster: Optional[List[Optional[str]]] = None
         #: seq -> {"package", "statement", "shares": {1-based index: share}}
         self._pending: Dict[int, Dict[str, Any]] = {}
         #: shares for checkpoints this replica has not reached yet
@@ -177,7 +181,9 @@ class RecoverableService(ReplicatedService):
         if ckpt is not None:
             if not ckpt.verify(self.scheme, self.pid):
                 raise RecoveryError("stored checkpoint certificate does not verify")
-            snapshot, delivered0, closes0, base_round = parse_package(ckpt.package)
+            snapshot, delivered0, closes0, base_round, epoch0, roster0 = (
+                parse_package_full(ckpt.package)
+            )
             if len(delivered0) != ckpt.seq:
                 raise RecoveryError("stored checkpoint package is inconsistent")
             self.state.restore(snapshot)
@@ -185,6 +191,7 @@ class RecoverableService(ReplicatedService):
             self._base_delivered = delivered0
             self._base_closes = closes0
             self._base_round = base_round
+            self._set_package_base(epoch0, roster0)
             self.last_certified = base
             self._last_proposed = base
         if self.wal.base < base:
@@ -237,6 +244,20 @@ class RecoverableService(ReplicatedService):
         """Flush and close the durable files (clean shutdown only)."""
         self.wal.close()
 
+    def shutdown(self) -> None:
+        """Retire this replica process: abort the channel, unregister the
+        transfer exchange, close durable files.
+
+        After ``shutdown()`` the party's router is free of this service's
+        protocol ids, so a successor process for the same slot (membership
+        replacement, or an in-simulation restart) can construct a fresh
+        service without id collisions."""
+        if self.channel is not None:
+            self.channel.abort()
+        self.exchange.halt()
+        self.party.ctx.router.forget(self.exchange.pid)
+        self.wal.close()
+
     # -- inspection ----------------------------------------------------------------
 
     @property
@@ -278,7 +299,7 @@ class RecoverableService(ReplicatedService):
 
     # -- checkpointing -------------------------------------------------------------
 
-    def _maybe_checkpoint(self, seq: int) -> None:
+    def _maybe_checkpoint(self, seq: int, force: bool = False) -> None:
         """Propose a checkpoint when the applied slot sequence crosses K.
 
         The boundary test is on the *absolute* slot sequence (``seq % K``),
@@ -286,8 +307,14 @@ class RecoverableService(ReplicatedService):
         of when it last restarted.  A boundary landing on a close-request
         slot is skipped by everyone identically (close slots never reach
         application).
+
+        ``force`` skips the boundary test (still deduplicated against
+        already-proposed sequences): epoch barriers checkpoint immediately
+        so a joining successor can onboard at the barrier without waiting
+        out the interval.  All honest replicas force at the same slot, so
+        determinism is preserved.
         """
-        if seq % self.interval != 0:
+        if not force and seq % self.interval != 0:
             return
         if seq <= max(self.last_certified, self._last_proposed):
             return
@@ -389,10 +416,13 @@ class RecoverableService(ReplicatedService):
     def _install_checkpoint(self, ckpt: Checkpoint) -> None:
         """Persist a certificate and truncate the covered log prefix."""
         self.ckpt_store.save(ckpt)
-        _snapshot, delivered, closes, base_round = parse_package(ckpt.package)
+        _snapshot, delivered, closes, base_round, epoch0, roster0 = (
+            parse_package_full(ckpt.package)
+        )
         self._base_delivered = delivered
         self._base_closes = closes
         self._base_round = base_round
+        self._set_package_base(epoch0, roster0)
         self.last_certified = ckpt.seq
         self.wal.truncate_through(ckpt.seq - 1)
         for seq in [s for s in self._pending if s <= ckpt.seq]:
@@ -500,13 +530,17 @@ class RecoverableService(ReplicatedService):
             ckpt = Checkpoint(seq=seq, package=package, signature=sig)
             if not ckpt.verify(self.scheme, self.pid):
                 raise CheckpointError("transfer certificate does not verify")
-            _snapshot, delivered0, _closes0, _round = parse_package(package)
+            _snapshot, delivered0, _closes0, _round, epoch0, roster0 = (
+                parse_package_full(package)
+            )
             if len(delivered0) != seq:
                 raise CheckpointError("certified package is inconsistent")
+            self._check_transfer_epoch(epoch0, roster0, slots)
         else:
             if package != b"" or sig != b"":
                 raise CheckpointError("uncertified response carries a package")
             delivered0 = []
+            self._check_transfer_epoch(0, None, slots)
         keys = set(delivered0)
         for slot in slots:
             key = (slot[1], slot[2])
@@ -532,14 +566,18 @@ class RecoverableService(ReplicatedService):
                 seq=seq, package=response["package"],
                 signature=response["signature"],
             )
-            snapshot, delivered0, closes0, base_round = parse_package(ckpt.package)
+            snapshot, delivered0, closes0, base_round, epoch0, roster0 = (
+                parse_package_full(ckpt.package)
+            )
             self.state.restore(snapshot)
             self.ckpt_store.save(ckpt)
         else:
             delivered0, closes0, base_round = [], set(), 1
+            epoch0, roster0 = 0, None
         self._base_delivered = delivered0
         self._base_closes = set(closes0)
         self._base_round = base_round
+        self._set_package_base(epoch0, roster0)
         self.last_certified = seq
         self._last_proposed = seq
         self.log = []
@@ -569,6 +607,35 @@ class RecoverableService(ReplicatedService):
             "resume_round": round_now,
             "applied_seq": self._applied_seq,
         })
+
+    # -- membership hooks (overridden by repro.membership) ----------------------------
+
+    def _set_package_base(
+        self, epoch: int, roster: Optional[List[Optional[str]]]
+    ) -> None:
+        """Record the membership fields of the checkpoint now serving as
+        base.  A plain recoverable service is pinned to epoch 0: adopting
+        a package from a reconfigured group requires the epoch key
+        material only ``repro.membership.ReconfigurableService`` holds."""
+        if epoch != 0:
+            raise RecoveryError(
+                f"checkpoint is from membership epoch {epoch}; a plain "
+                "RecoverableService cannot cross epochs (use "
+                "repro.membership.ReconfigurableService)"
+            )
+        self._base_epoch = epoch
+        self._base_roster = roster
+
+    def _check_transfer_epoch(
+        self,
+        epoch: int,
+        roster: Optional[List[Optional[str]]],
+        tail: List[SlotTuple],
+    ) -> None:
+        """Validate the membership epoch of a state-transfer response
+        before adopting it (subclass hook; the base class accepts
+        anything epoch 0 and defers epoch > 0 rejection to
+        :meth:`_set_package_base`)."""
 
     # -- shared restore helpers -------------------------------------------------------
 

@@ -266,6 +266,7 @@ class ReplicaProcess:
         directory: str,
         service_pid: str = "svc",
         recorder_factory: Optional[Callable[[], Any]] = None,
+        service_cls: Optional[type] = None,
         service_kwargs: Optional[Dict[str, Any]] = None,
         client_endpoint: Optional[Tuple[str, int]] = None,
         request_server_kwargs: Optional[Dict[str, Any]] = None,
@@ -278,6 +279,10 @@ class ReplicaProcess:
         self.directory = directory
         self.service_pid = service_pid
         self.recorder_factory = recorder_factory
+        #: service class each incarnation constructs; RecoverableService by
+        #: default, ReconfigurableService for membership chaos tests (its
+        #: extra constructor arguments ride in ``service_kwargs``).
+        self.service_cls = service_cls
         self.service_kwargs = dict(service_kwargs or {})
         self.client_endpoint = client_endpoint
         self.request_server_kwargs = dict(request_server_kwargs or {})
@@ -324,7 +329,8 @@ class ReplicaProcess:
         )
         await node.start()
         self.node = node
-        self.service = RecoverableService(
+        service_cls = self.service_cls or RecoverableService
+        self.service = service_cls(
             Party(node.ctx),
             self.service_pid,
             self.make_state(),

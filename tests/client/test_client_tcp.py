@@ -178,7 +178,8 @@ def test_contact_killed_midrequest_failover_exactly_once(fuzz_seed, tmp_path):
 
     try:
         out = _run(body(), timeout=180)
-        assert out["reply"] == (MSG_REPLY, 0, STATUS_OK, b"1")
+        # A non-reconfigurable service advertises epoch 0, empty digest.
+        assert out["reply"] == (MSG_REPLY, 0, STATUS_OK, b"1", 0, b"")
         assert out["dedup_hits"] >= 1  # served from the recovered cache
         # Exactly once, everywhere, including the resurrected victim.
         assert set(out["values"]) == {out["total"]}

@@ -25,6 +25,9 @@ class FakeService:
         self.queue = []
         self.congested = False
 
+    def membership_info(self):
+        return (0, b"")
+
     def can_submit(self):
         return not self.congested
 
@@ -56,7 +59,7 @@ def test_request_executes_and_reply_is_pushed(setup):
     server.handle_request("alice", 0, b"add:5")
     assert replies == []  # not executed yet
     service.deliver()
-    assert replies == [(0, STATUS_OK, b"5")]
+    assert replies == [(0, STATUS_OK, b"5", 0, b"")]
     assert obs.counters["reqserver.submitted"] == 1
     assert obs.counters["reqserver.executed"] == 1
     assert server.backlog == 0
@@ -67,7 +70,7 @@ def test_resubmission_served_from_cache_without_channel(setup):
     server.handle_request("alice", 0, b"add:5")
     service.deliver()
     server.handle_request("alice", 0, b"add:5")
-    assert replies == [(0, STATUS_OK, b"5")] * 2
+    assert replies == [(0, STATUS_OK, b"5", 0, b"")] * 2
     assert len(service.queue) == 0  # never resubmitted to the channel
     assert obs.counters["reqserver.dedup_hits"] == 1
     assert service.state.inner.value == 5
@@ -81,7 +84,7 @@ def test_locally_inflight_duplicate_is_silent(setup):
     assert len(service.queue) == 1
     assert obs.counters["reqserver.inflight_dups"] == 1
     service.deliver()
-    assert replies == [(0, STATUS_OK, b"5")]
+    assert replies == [(0, STATUS_OK, b"5", 0, b"")]
 
 
 def test_per_client_inflight_bound_sheds(setup):
@@ -89,13 +92,13 @@ def test_per_client_inflight_bound_sheds(setup):
     server.handle_request("alice", 0, b"add:1")
     server.handle_request("alice", 1, b"add:1")
     server.handle_request("alice", 2, b"add:1")  # third in flight: shed
-    assert replies == [(2, STATUS_OVERLOADED, b"")]
+    assert replies == [(2, STATUS_OVERLOADED, b"", 0, b"")]
     assert obs.counters["reqserver.shed.client"] == 1
     service.deliver()
     # After the order drains, the request is admitted on retry.
     server.handle_request("alice", 2, b"add:1")
     service.deliver()
-    assert replies[-1] == (2, STATUS_OK, b"3")
+    assert replies[-1] == (2, STATUS_OK, b"3", 0, b"")
 
 
 def test_total_backlog_bound_sheds_across_clients(setup):
@@ -106,7 +109,7 @@ def test_total_backlog_bound_sheds_across_clients(setup):
     server.handle_request("alice", 1, b"add:1")
     server.handle_request("bob", 0, b"add:1")
     server.handle_request("bob", 1, b"add:1")  # backlog == 3: shed
-    assert bob_replies == [(1, STATUS_OVERLOADED, b"")]
+    assert bob_replies == [(1, STATUS_OVERLOADED, b"", 0, b"")]
     assert obs.counters["reqserver.shed.backlog"] == 1
 
 
@@ -114,12 +117,12 @@ def test_channel_backpressure_surfaces_as_overloaded(setup):
     service, server, replies, obs = setup
     service.congested = True
     server.handle_request("alice", 0, b"add:1")
-    assert replies == [(0, STATUS_OVERLOADED, b"")]
+    assert replies == [(0, STATUS_OVERLOADED, b"", 0, b"")]
     assert obs.counters["reqserver.shed.channel"] == 1
     # can_submit lied (race): the ChannelCongested raise is also caught.
     service.can_submit = lambda: True
     server.handle_request("alice", 0, b"add:1")
-    assert replies[-1] == (0, STATUS_OVERLOADED, b"")
+    assert replies[-1] == (0, STATUS_OVERLOADED, b"", 0, b"")
     assert obs.counters["reqserver.shed.channel"] == 2
     assert server.backlog == 0
 
@@ -134,7 +137,7 @@ def test_expired_resubmission_sheds_instead_of_reexecuting():
     server.handle_request("alice", 1, b"add:1")
     service.deliver()  # seq 0's reply evicted by seq 1
     server.handle_request("alice", 0, b"add:1")
-    assert replies[-1] == (0, STATUS_OVERLOADED, b"")
+    assert replies[-1] == (0, STATUS_OVERLOADED, b"", 0, b"")
     assert obs.counters["reqserver.expired"] == 1
     assert service.state.inner.value == 2  # never re-executed
 

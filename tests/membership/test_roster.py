@@ -1,0 +1,116 @@
+"""Roster algebra and the reconfiguration command codec (pure units)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.membership.roster import (
+    MembershipChange,
+    Roster,
+    make_reconfig_command,
+    parse_reconfig_command,
+)
+
+pytestmark = pytest.mark.membership
+
+
+def test_initial_roster_defaults():
+    roster = Roster.initial(4)
+    assert roster.epoch == 0
+    assert roster.members == ("replica-0", "replica-1", "replica-2", "replica-3")
+    assert roster.vacancies() == 0
+    assert roster.slot_of("replica-2") == 2
+    assert roster.slot_of("stranger") is None
+    with pytest.raises(ConfigError):
+        Roster.initial(4, uids=("a", "b"))
+
+
+def test_change_validation():
+    MembershipChange("refresh")
+    MembershipChange("replace", slot=1, member="x")
+    MembershipChange("retire", slot=0)
+    MembershipChange("join", slot=2, member="y")
+    with pytest.raises(ConfigError):
+        MembershipChange("mutate")
+    with pytest.raises(ConfigError):
+        MembershipChange("refresh", slot=1)
+    with pytest.raises(ConfigError):
+        MembershipChange("retire", slot=1, member="x")
+    with pytest.raises(ConfigError):
+        MembershipChange("replace", slot=1)  # no member
+    with pytest.raises(ConfigError):
+        MembershipChange("join", member="x")  # no slot
+
+
+def test_apply_steps_the_epoch():
+    r0 = Roster.initial(4)
+    r1 = r0.apply(MembershipChange("refresh"), t=1)
+    assert r1.epoch == 1 and r1.members == r0.members
+
+    r2 = r1.apply(MembershipChange("replace", slot=3, member="fresh"), t=1)
+    assert r2.epoch == 2
+    assert r2.members[3] == "fresh"
+    assert r2.members[:3] == r0.members[:3]
+
+    r3 = r2.apply(MembershipChange("retire", slot=0), t=1)
+    assert r3.members[0] is None and r3.vacancies() == 1
+
+    r4 = r3.apply(MembershipChange("join", slot=0, member="joiner"), t=1)
+    assert r4.members[0] == "joiner" and r4.vacancies() == 0
+
+
+def test_apply_rejects_inadmissible_changes():
+    r = Roster.initial(4)
+    with pytest.raises(ConfigError):
+        r.apply(MembershipChange("replace", slot=9, member="x"), t=1)
+    with pytest.raises(ConfigError):  # duplicate uid in another slot
+        r.apply(MembershipChange("replace", slot=0, member="replica-1"), t=1)
+    with pytest.raises(ConfigError):  # join an occupied slot
+        r.apply(MembershipChange("join", slot=0, member="x"), t=1)
+    vacated = r.apply(MembershipChange("retire", slot=0), t=1)
+    with pytest.raises(ConfigError):  # retire an already vacant slot
+        vacated.apply(MembershipChange("retire", slot=0), t=1)
+    with pytest.raises(ConfigError):  # join must target the vacant slot
+        vacated.apply(MembershipChange("replace", slot=0, member="x"), t=1)
+    with pytest.raises(ConfigError):  # a second vacancy would exceed t=1
+        vacated.apply(MembershipChange("retire", slot=1), t=1)
+    # ...but is fine with a larger fault budget.
+    assert vacated.apply(MembershipChange("retire", slot=1), t=2).vacancies() == 2
+
+
+def test_digest_binds_epoch_and_members():
+    r0 = Roster.initial(4)
+    r1 = r0.apply(MembershipChange("refresh"), t=1)
+    r1b = r0.apply(MembershipChange("replace", slot=0, member="x"), t=1)
+    digests = {r0.digest(), r1.digest(), r1b.digest()}
+    assert len(digests) == 3  # same members, different epoch -> different
+    assert all(len(d) == 32 for d in digests)
+    assert r0.short_digest() == r0.digest()[:8]
+
+
+def test_command_round_trip():
+    for change in (
+        MembershipChange("refresh"),
+        MembershipChange("replace", slot=2, member="fresh"),
+        MembershipChange("retire", slot=1),
+        MembershipChange("join", slot=1, member="back"),
+    ):
+        payload = make_reconfig_command(5, change)
+        assert parse_reconfig_command(payload) == (5, change)
+
+
+def test_parse_rejects_non_commands():
+    assert parse_reconfig_command(b"add:3") is None
+    assert parse_reconfig_command(b"") is None
+    assert parse_reconfig_command(b"\xff\xfe garbage") is None
+    # Well-encoded but malformed fields never raise, they just miss.
+    from repro.common.encoding import encode
+
+    assert parse_reconfig_command(encode(("sintra-reconfig",))) is None
+    assert parse_reconfig_command(
+        encode(("sintra-reconfig", "0", "refresh", None, None))) is None
+    assert parse_reconfig_command(
+        encode(("sintra-reconfig", 0, "mutate", None, None))) is None
+    assert parse_reconfig_command(
+        encode(("sintra-reconfig", 0, "replace", "slot", "m"))) is None
+    assert parse_reconfig_command(
+        encode(("sintra-reconfig", 0, "replace", 1, 7))) is None
