@@ -13,8 +13,9 @@ import pytest
 from repro.crypto import arith
 from repro.crypto.opcount import OpCounter
 from repro.net.costmodel import CostModel, INTERNET_HOSTS, LAN_HOSTS
+from repro.obs.recorder import MemoryRecorder
 
-from conftest import emit
+from conftest import bench_export, bench_messages, emit
 
 
 def _modexp_args(bits=1024, seed=5):
@@ -58,4 +59,120 @@ def test_cost_model_reproduces_exp_column(benchmark):
     emit(
         "Cost model check: simulated exp times match the paper's hardware "
         "tables for all 8 host entries."
+    )
+
+
+# -- crypto hot-path acceleration (before/after) -------------------------------
+#
+# Three records of the Figure 4 LAN experiment prove the acceleration
+# layer's contract:
+#
+# * ``modexp-accel-naive``   — plain implementation (the "before" record);
+# * ``modexp-accel-metered`` — wire-compatible knobs only, billed at the
+#   naive operation mix: delivery timings must be byte-identical to naive;
+# * ``modexp-accel-full``    — all knobs: must deliver the same payloads
+#   and cut ``crypto.modexp`` by at least 2x.
+
+ACCEL_SENDERS = [0, 2, 3]  # as in Figure 4
+ACCEL_SEED = 44
+
+
+def _accel_run(accel):
+    from repro.experiments import LAN_SETUP, run_channel_experiment
+
+    recorder = MemoryRecorder()
+    result = run_channel_experiment(
+        LAN_SETUP,
+        "atomic",
+        senders=ACCEL_SENDERS,
+        messages=bench_messages(3.0, minimum=36),
+        seed=ACCEL_SEED,
+        recorder=recorder,
+        accel=accel,
+    )
+    return result, recorder
+
+
+def _accel_export(result, recorder, name, accel_label):
+    bench_export(
+        result, recorder, name=name, experiment="modexp-accel",
+        meta={"seed": ACCEL_SEED, "accel": accel_label},
+    )
+
+
+@pytest.mark.benchmark(group="modexp-accel")
+def test_accel_metered_is_schedule_identical(benchmark):
+    """Metered acceleration must not change the simulation at all.
+
+    The ``metered`` profile enables only knobs that keep the wire format
+    unchanged (fixed-base tables, verified-result cache) and bills every
+    saved operation at its exact naive cost — so the delivery trace,
+    simulated clock, and billed work units must match the plain run
+    integer for integer.
+    """
+
+    def both():
+        naive, naive_rec = _accel_run(None)
+        metered, metered_rec = _accel_run("metered")
+        return naive, naive_rec, metered, metered_rec
+
+    naive, naive_rec, metered, metered_rec = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    _accel_export(naive, naive_rec, "modexp-accel-naive", "none")
+    _accel_export(metered, metered_rec, "modexp-accel-metered", "metered")
+
+    assert metered.deliveries == naive.deliveries
+    assert metered.sim_seconds == naive.sim_seconds
+    nc, mc = naive_rec.counters, metered_rec.counters
+    naive_units = nc["crypto.units_full"] + nc["crypto.units_short"]
+    metered_billed = (
+        mc["crypto.units_full"]
+        + mc["crypto.units_short"]
+        + mc.get("crypto.units_saved", 0.0)
+    )
+    assert metered_billed == naive_units
+    emit(
+        "Metered acceleration (fig4 LAN config):\n"
+        f"  deliveries byte-identical to naive: {len(metered.deliveries)}\n"
+        f"  performed modexp {mc['crypto.modexp']:.0f} vs naive "
+        f"{nc['crypto.modexp']:.0f}; billed units identical ({naive_units:.0f})"
+    )
+
+
+@pytest.mark.benchmark(group="modexp-accel")
+def test_accel_full_halves_modexp_count(benchmark):
+    """Full acceleration cuts ``crypto.modexp`` >= 2x, same payloads."""
+
+    def both():
+        naive, naive_rec = _accel_run(None)
+        full, full_rec = _accel_run("full")
+        return naive, naive_rec, full, full_rec
+
+    naive, naive_rec, full, full_rec = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    _accel_export(full, full_rec, "modexp-accel-full", "full")
+
+    assert sorted(p for _, p in full.deliveries) == sorted(
+        p for _, p in naive.deliveries
+    )
+    nc, fc = naive_rec.counters, full_rec.counters
+    ratio = nc["crypto.modexp"] / fc["crypto.modexp"]
+    benchmark.extra_info["modexp_ratio"] = ratio
+    assert ratio >= 2.0, ratio
+    naive_units = nc["crypto.units_full"] + nc["crypto.units_short"]
+    full_units = (
+        fc["crypto.units_full"]
+        + fc["crypto.units_short"]
+        + fc.get("crypto.units_batched", 0.0)
+    )
+    assert full_units < naive_units
+    emit(
+        "Full acceleration (fig4 LAN config):\n"
+        f"  modexp {nc['crypto.modexp']:.0f} -> {fc['crypto.modexp']:.0f} "
+        f"({ratio:.2f}x fewer)\n"
+        f"  work units {naive_units:.3g} -> {full_units:.3g} "
+        f"({naive_units / full_units:.2f}x)\n"
+        f"  simulated time {naive.sim_seconds:.2f}s -> {full.sim_seconds:.2f}s"
     )

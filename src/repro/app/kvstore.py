@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+from repro.app.replication import ReplicatedService, StateMachine
 from repro.common.encoding import decode, encode
 from repro.common.errors import EncodingError
-from repro.app.replication import ReplicatedService, StateMachine
 from repro.core.party import Party
 
 

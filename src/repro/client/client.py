@@ -36,8 +36,8 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Protocol
 
 from repro.client.protocol import STATUS_OK, STATUS_OVERLOADED, ReplyVote
-from repro.common.errors import RetriesExhausted
 from repro.common import rng as rng_mod
+from repro.common.errors import RetriesExhausted
 from repro.net.tcp import BackoffPolicy
 from repro.obs import recorder as _recorder
 

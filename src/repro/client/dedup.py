@@ -25,16 +25,16 @@ machine, which is the only place it can be solved consistently:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.app.replication import StateMachine
-from repro.common.encoding import decode, encode
 from repro.client.protocol import (
     STATUS_OK,
     STATUS_OVERLOADED,
     make_envelope,
     parse_envelope,
 )
+from repro.common.encoding import decode, encode
 
 #: ``on_apply(client_id, seq, status, result, duplicate)`` — fired for every
 #: envelope the total order delivers (including duplicates and expired

@@ -225,7 +225,9 @@ class BinaryAgreement(Agreement):
         # time) — except the one kept as the per-value example, which may
         # be embedded in an abstain justification and must be sound.
         if b not in state.example_prevote:
-            if not scheme.verify_share(prevote_string(self.pid, r, b), share):
+            if not self.ctx.crypto.accel.sig_share_ok(
+                scheme, prevote_string(self.pid, r, b), share
+            ):
                 state.banned.add(sender)
                 return
             state.example_prevote[b] = (b, just, proof, share)
@@ -244,15 +246,16 @@ class BinaryAgreement(Agreement):
         if r == 1:
             return just is None
         scheme = self._scheme()
+        accel = self.ctx.crypto.accel
         if isinstance(just, tuple) and len(just) == 2 and just[0] == "hard":
             sig = just[1]
-            return isinstance(sig, bytes) and scheme.verify(
-                prevote_string(self.pid, r - 1, b), sig
+            return isinstance(sig, bytes) and accel.sig_ok(
+                scheme, prevote_string(self.pid, r - 1, b), sig
             )
         if isinstance(just, tuple) and len(just) == 3 and just[0] == "soft":
             _, abstain_sig, coin_shares = just
-            if not isinstance(abstain_sig, bytes) or not scheme.verify(
-                mainvote_string(self.pid, r - 1, ABSTAIN), abstain_sig
+            if not isinstance(abstain_sig, bytes) or not accel.sig_ok(
+                scheme, mainvote_string(self.pid, r - 1, ABSTAIN), abstain_sig
             ):
                 return False
             return self._coin_matches(r - 1, b, coin_shares)
@@ -266,15 +269,29 @@ class BinaryAgreement(Agreement):
         name = coin_name(self.pid, r)
         if not isinstance(coin_shares, (list, tuple)):
             return False
+        accel = self.ctx.crypto.accel
         valid: Dict[int, bytes] = {}
-        for cs in coin_shares:
-            if isinstance(cs, bytes) and self._coin_share_ok(r, name, cs):
+        if accel.batch:
+            # A justification's whole share list verifies in one
+            # random-linear-combination batch.
+            candidates: Dict[int, bytes] = {}
+            for cs in coin_shares:
+                if not isinstance(cs, bytes):
+                    continue
                 try:
-                    valid[_coin_share_index(cs)] = cs
+                    candidates.setdefault(_coin_share_index(cs), cs)
                 except (CryptoError, InvalidShare):
                     continue
-            if len(valid) >= coin.k:
-                break
+            valid, _bad = accel.coin_quorum(coin, name, candidates)
+        else:
+            for cs in coin_shares:
+                if isinstance(cs, bytes) and self._coin_share_ok(r, name, cs):
+                    try:
+                        valid[_coin_share_index(cs)] = cs
+                    except (CryptoError, InvalidShare):
+                        continue
+                if len(valid) >= coin.k:
+                    break
         if len(valid) < coin.k:
             return False
         return coin.assemble_bit(name, valid) == b
@@ -284,7 +301,7 @@ class BinaryAgreement(Agreement):
         key = (r, share)
         if key in self._coin_ok:
             return True
-        if self.ctx.crypto.coin.verify_share(name, share):
+        if self.ctx.crypto.accel.coin_share_ok(self.ctx.crypto.coin, name, share):
             self._coin_ok.add(key)
             return True
         return False
@@ -299,7 +316,10 @@ class BinaryAgreement(Agreement):
         if len(values) == 1:
             b = values.pop()
             sig = combine_optimistically(
-                scheme, prevote_string(self.pid, r, b), state.prevote_shares[b]
+                scheme,
+                prevote_string(self.pid, r, b),
+                state.prevote_shares[b],
+                verifier=self.ctx.crypto.accel,
             )
             if sig is None:
                 self._evict(state.prevotes, state.prevote_shares[b], b, state)
@@ -366,8 +386,8 @@ class BinaryAgreement(Agreement):
                 return False
             if not self.validator(v, proof):
                 return False
-            return isinstance(just, bytes) and scheme.verify(
-                prevote_string(self.pid, r, v), just
+            return isinstance(just, bytes) and self.ctx.crypto.accel.sig_ok(
+                scheme, prevote_string(self.pid, r, v), just
             )
         # Abstain: embed one justified pre-vote for 0 and one for 1.
         if not (isinstance(just, tuple) and len(just) == 2):
@@ -382,8 +402,8 @@ class BinaryAgreement(Agreement):
             seen.add(b)
             if not self._valid_prevote(r, b, pv_just, pv_proof):
                 return False
-            if not isinstance(pv_share, bytes) or not scheme.verify_share(
-                prevote_string(self.pid, r, b), pv_share
+            if not isinstance(pv_share, bytes) or not self.ctx.crypto.accel.sig_share_ok(
+                scheme, prevote_string(self.pid, r, b), pv_share
             ):
                 return False
         return seen == {0, 1}
@@ -400,6 +420,7 @@ class BinaryAgreement(Agreement):
                 self._scheme(),
                 mainvote_string(self.pid, r, b),
                 state.mainvote_shares[b],
+                verifier=self.ctx.crypto.accel,
             )
             if sig is None:
                 self._evict(state.mainvotes, state.mainvote_shares[b], b, state)
@@ -429,6 +450,22 @@ class BinaryAgreement(Agreement):
             return
         coin = self.ctx.crypto.coin
         name = coin_name(self.pid, r)
+        accel = self.ctx.crypto.accel
+        if accel.defer_shares or accel.batch:
+            # Defer verification until a candidate quorum is in hand, then
+            # check the whole set at once (batched when enabled); invalid
+            # shares are discarded and the quorum wait continues.
+            state.coin_shares[sender + 1] = share
+            if state.coin_value is None and len(state.coin_shares) >= coin.k:
+                valid, bad = accel.coin_quorum(coin, name, state.coin_shares)
+                if bad:
+                    for index in bad:
+                        state.coin_shares.pop(index, None)
+                if len(valid) >= coin.k:
+                    state.coin_value = coin.assemble_bit(name, valid)
+                    if r == self.round:
+                        self._try_advance()
+            return
         if not self._coin_share_ok(r, name, share):
             return
         state.coin_shares[sender + 1] = share
@@ -454,6 +491,7 @@ class BinaryAgreement(Agreement):
                 self._scheme(),
                 mainvote_string(self.pid, r, ABSTAIN),
                 state.mainvote_shares[ABSTAIN],
+                verifier=self.ctx.crypto.accel,
             )
             if abstain_sig is None:
                 self._evict(
@@ -491,8 +529,8 @@ class BinaryAgreement(Agreement):
             return
         if not self.validator(b, proof):
             return
-        if not isinstance(sig, bytes) or not self._scheme().verify(
-            mainvote_string(self.pid, r, b), sig
+        if not isinstance(sig, bytes) or not self.ctx.crypto.accel.sig_ok(
+            self._scheme(), mainvote_string(self.pid, r, b), sig
         ):
             return
         self._store_proof(b, proof)

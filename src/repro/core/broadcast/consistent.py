@@ -104,7 +104,9 @@ class ConsistentBroadcast(Broadcast):
         # slipped in a bad share do we pay for per-share verification.
         self._shares[index] = share
         if len(self._shares) >= self._quorum:
-            signature = combine_optimistically(scheme, bound, self._shares)
+            signature = combine_optimistically(
+                scheme, bound, self._shares, verifier=self.ctx.crypto.accel
+            )
             if signature is None:
                 return  # bad shares were evicted; wait for more echoes
             self._sent_final = True
@@ -117,7 +119,9 @@ class ConsistentBroadcast(Broadcast):
         if not isinstance(message, bytes) or not isinstance(signature, bytes):
             return
         scheme = self.ctx.crypto.cbc_scheme
-        if not scheme.verify(_bound_message(self.pid, message), signature):
+        if not self.ctx.crypto.accel.sig_ok(
+            scheme, _bound_message(self.pid, message), signature
+        ):
             return
         self.signature = signature
         self._deliver(message)

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Set
 
-from repro.crypto.hashing import sha256
 from repro.core.broadcast.base import Broadcast
+from repro.crypto.hashing import sha256
 
 MSG_SEND = "send"
 MSG_ECHO = "echo"

@@ -17,8 +17,8 @@ from typing import Optional
 
 from repro.common.encoding import decode, encode
 from repro.common.errors import EncodingError
-from repro.crypto.dealer import PartyCrypto
 from repro.core.broadcast.consistent import ConsistentBroadcast, _bound_message
+from repro.crypto.dealer import PartyCrypto
 
 
 class VerifiableConsistentBroadcast(ConsistentBroadcast):
@@ -72,6 +72,8 @@ def parse_closing(
         return None
     if not isinstance(payload, bytes) or not isinstance(signature, bytes):
         return None
-    if not crypto.cbc_scheme.verify(_bound_message(pid, payload), signature):
+    if not crypto.accel.sig_ok(
+        crypto.cbc_scheme, _bound_message(pid, payload), signature
+    ):
         return None
     return payload, signature

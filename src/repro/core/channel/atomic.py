@@ -364,8 +364,8 @@ class AtomicChannel(Channel):
         if self.offload:
             if not (isinstance(body, bytes) and isinstance(proof, bytes)):
                 return
-            if not self._avail_scheme.verify(
-                avail_string(self.pid, r, sender, body), proof
+            if not self.ctx.crypto.accel.sig_ok(
+                self._avail_scheme, avail_string(self.pid, r, sender, body), proof
             ):
                 return
             round_candidates[sender] = (body, proof)
@@ -525,8 +525,8 @@ class AtomicChannel(Channel):
             if self.offload:
                 if not (isinstance(body, bytes) and isinstance(proof, bytes)):
                     return None
-                if not self._avail_scheme.verify(
-                    avail_string(self.pid, r, signer, body), proof
+                if not self.ctx.crypto.accel.sig_ok(
+                    self._avail_scheme, avail_string(self.pid, r, signer, body), proof
                 ):
                     return None
                 out.append((signer, body, proof))
@@ -755,7 +755,7 @@ class AtomicChannel(Channel):
         if self._own_digest.get(r) != digest:
             return
         statement = avail_string(self.pid, r, self.ctx.node_id, digest)
-        if not self._avail_scheme.verify_share(statement, share):
+        if not self.ctx.crypto.accel.sig_share_ok(self._avail_scheme, statement, share):
             return
         shares = self._ack_shares.setdefault(r, {})
         if sender + 1 in shares:

@@ -387,7 +387,7 @@ class OptimisticAtomicChannel(Channel):
             return
         cert = combine_optimistically(
             scheme, prepare_string(self.pid, epoch, s, state.digest),
-            state.prepare_shares,
+            state.prepare_shares, verifier=self.ctx.crypto.accel,
         )
         if cert is None:
             return
@@ -424,7 +424,7 @@ class OptimisticAtomicChannel(Channel):
             return  # cannot check the certificate without the proposal
         cert = combine_optimistically(
             scheme, commit_string(self.pid, epoch, s, state.digest),
-            state.commit_shares,
+            state.commit_shares, verifier=self.ctx.crypto.accel,
         )
         if cert is None:
             return
@@ -537,8 +537,10 @@ class OptimisticAtomicChannel(Channel):
         ):
             return None
         if prefix > 0:
-            if not isinstance(cert, bytes) or not self.ctx.crypto.aba_scheme.verify(
-                commit_string(self.pid, epoch, prefix - 1, digest), cert
+            if not isinstance(cert, bytes) or not self.ctx.crypto.accel.sig_ok(
+                self.ctx.crypto.aba_scheme,
+                commit_string(self.pid, epoch, prefix - 1, digest),
+                cert,
             ):
                 return None
         return (party, prefix, digest, cert, sig)
@@ -662,8 +664,8 @@ class OptimisticAtomicChannel(Channel):
             entries.append(entry)
         if slot_digest(entries) != digest:
             return
-        if not self.ctx.crypto.aba_scheme.verify(
-            commit_string(self.pid, epoch, s, digest), cert
+        if not self.ctx.crypto.accel.sig_ok(
+            self.ctx.crypto.aba_scheme, commit_string(self.pid, epoch, s, digest), cert
         ):
             return
         state.entries = entries

@@ -124,7 +124,7 @@ class SecureAtomicChannel(AtomicChannel):
         # made for another context is invalid here even if its NIZK holds.
         if ctxt is not None and ctxt.label != encode(("sac", self.pid)):
             ctxt = None
-        if ctxt is None or not scheme.check_ciphertext(ctxt):
+        if ctxt is None or not self.ctx.crypto.accel.ciphertext_ok(scheme, ctxt):
             # An invalid ciphertext is delivered as nothing; mark the slot
             # so in-order release does not stall on it.
             self._plain[index] = None
@@ -137,7 +137,9 @@ class SecureAtomicChannel(AtomicChannel):
             self._ctxt_times[index] = self.ctx.now()
             self.obs.count("secure.dec_shares_sent")
         self.ctx.effect(self.ciphertexts.put, data)
-        share = self.ctx.crypto.enc_holder.decryption_share(ctxt)
+        share = self.ctx.crypto.enc_holder.decryption_share(
+            ctxt, verifier=self.ctx.crypto.accel
+        )
         self.send_all(MSG_DEC_SHARE, (index, share))
         self._consume_shares(index)
 
@@ -161,12 +163,14 @@ class SecureAtomicChannel(AtomicChannel):
             return
         scheme = self.ctx.crypto.enc
         shares = self._dec_shares.get(index, {})
-        valid = {
-            i: s for i, s in shares.items() if scheme.verify_share(ctxt, s)
-        }
+        # Invalid shares stay buffered (the verified-result cache makes
+        # re-checking them free), preserving the unaccelerated semantics.
+        valid, _bad = self.ctx.crypto.accel.enc_quorum(scheme, ctxt, shares)
         if len(valid) < scheme.k:
             return
-        self._plain[index] = scheme.combine(ctxt, valid)
+        self._plain[index] = scheme.combine(
+            ctxt, valid, verifier=self.ctx.crypto.accel
+        )
         if self.obs.enabled:
             self.obs.count("secure.combined")
             started = self._ctxt_times.pop(index, None)

@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.agreement import ArrayAgreement, BinaryAgreement, ValidatedAgreement
-from repro.core.agreement.multivalued import ORDER_RANDOM, ArrayValidator
 from repro.core.agreement.binary import BinaryValidator
+from repro.core.agreement.multivalued import ORDER_RANDOM, ArrayValidator
 from repro.core.broadcast import (
     ConsistentBroadcast,
     ReliableBroadcast,

@@ -31,10 +31,10 @@ from repro.common.errors import ConfigError
 from repro.crypto import params as params_mod
 from repro.crypto.coin import CoinPublicKey, ThresholdCoin
 from repro.crypto.dealer import (
-    GroupConfig,
-    PartyCrypto,
     SIG_MODE_MULTI,
     SIG_MODE_SHOUP,
+    GroupConfig,
+    PartyCrypto,
 )
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
 from repro.crypto.threshold_enc import TDH2PublicKey, TDH2Scheme

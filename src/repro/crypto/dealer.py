@@ -36,6 +36,7 @@ from repro.crypto.threshold_sig import (
     ThresholdSignatureScheme,
     ThresholdSigner,
 )
+from repro.crypto.verifier import ShareVerifier
 
 SIG_MODE_MULTI = "multi"
 SIG_MODE_SHOUP = "shoup"
@@ -69,6 +70,10 @@ class PartyCrypto:
     coin_holder: CoinShareHolder
     enc: TDH2Scheme
     enc_holder: TDH2ShareHolder
+    #: per-party verification strategy (caches, batch verify, offload) —
+    #: one per party, because scheme objects are shared across parties and
+    #: each simulated node must pay for its own verification work.
+    accel: ShareVerifier = field(default_factory=ShareVerifier)
 
     def sign(self, domain: str, message: bytes) -> int:
         """Standard RSA signature with this party's personal key."""
@@ -78,7 +83,9 @@ class PartyCrypto:
         """Verify a standard signature by party ``j`` (0-based)."""
         if not 0 <= j < self.n:
             return False
-        return self.party_public_keys[j].verify(domain, message, sig)
+        return self.accel.party_sig_ok(
+            self.party_public_keys[j], j, domain, message, sig
+        )
 
     def link_auth(self, peer: int) -> LinkAuthenticator:
         """The authenticator for the link with ``peer``."""

@@ -28,12 +28,21 @@ class RSAPublicKey:
     def bits(self) -> int:
         return self.n.bit_length()
 
+    def verify_target(self, domain: str, message: bytes) -> int:
+        """The full-domain-hash value a valid signature must decrypt to.
+
+        Exposed for bulk verification paths (pool offload) that compute
+        the RSA exponentiations separately from the comparison.
+        """
+        return hashing.fdh_to_zn(domain, message, self.n)
+
     def verify(self, domain: str, message: bytes, signature: int) -> bool:
         """Verify an FDH signature; returns ``True`` iff valid."""
         if not 0 < signature < self.n:
             return False
-        target = hashing.fdh_to_zn(domain, message, self.n)
-        return arith.mexp(signature, self.e, self.n) == target
+        return arith.mexp(signature, self.e, self.n) == self.verify_target(
+            domain, message
+        )
 
     def check(self, domain: str, message: bytes, signature: int) -> None:
         """Verify and raise :class:`InvalidSignature` on failure."""

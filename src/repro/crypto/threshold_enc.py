@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.encoding import decode, encode
 from repro.common.errors import (
@@ -27,7 +27,7 @@ from repro.common.errors import (
     InvalidCiphertext,
     InvalidShare,
 )
-from repro.crypto import arith, hashing, shamir
+from repro.crypto import arith, fastexp, hashing, shamir
 from repro.crypto.params import DLGroup
 
 _CTXT_DOMAIN = "tdh2.ciphertext"
@@ -124,11 +124,12 @@ class TDH2Scheme:
         grp = self.public.group
         r = rng.randrange(1, grp.q)
         s = rng.randrange(1, grp.q)
-        u = arith.mexp(grp.g, r, grp.p)
-        w = arith.mexp(grp.g, s, grp.p)
-        ubar = arith.mexp(self.public.gbar, r, grp.p)
-        wbar = arith.mexp(self.public.gbar, s, grp.p)
-        hr = arith.mexp(self.public.h, r, grp.p)
+        # All five bases (g, gbar, h) are fixed for the scheme's lifetime.
+        u = fastexp.fb_pow(grp.g, r, grp.p)
+        w = fastexp.fb_pow(grp.g, s, grp.p)
+        ubar = fastexp.fb_pow(self.public.gbar, r, grp.p)
+        wbar = fastexp.fb_pow(self.public.gbar, s, grp.p)
+        hr = fastexp.fb_pow(self.public.h, r, grp.p)
         key = hashing.oracle_bytes(_KEY_DOMAIN, encode((self.domain, hr)), 32)
         c = hashing.xor_bytes(message, hashing.keystream(key, len(message)))
         e = hashing.challenge(
@@ -147,11 +148,11 @@ class TDH2Scheme:
         if not (0 <= ctxt.e < grp.q and 0 <= ctxt.f < grp.q):
             return False
         w = (
-            arith.mexp(grp.g, ctxt.f, grp.p)
+            fastexp.fb_pow(grp.g, ctxt.f, grp.p)
             * arith.mexp(arith.invmod(ctxt.u, grp.p), ctxt.e, grp.p)
         ) % grp.p
         wbar = (
-            arith.mexp(self.public.gbar, ctxt.f, grp.p)
+            fastexp.fb_pow(self.public.gbar, ctxt.f, grp.p)
             * arith.mexp(arith.invmod(ctxt.ubar, grp.p), ctxt.e, grp.p)
         ) % grp.p
         expected = hashing.challenge(
@@ -166,41 +167,152 @@ class TDH2Scheme:
     def holder(self, index: int, secret: object) -> "TDH2ShareHolder":
         return TDH2ShareHolder(self, index, int(secret))  # type: ignore[arg-type]
 
-    def verify_share(self, ctxt: Ciphertext, share: bytes) -> bool:
-        """Verify one decryption share against a (valid) ciphertext."""
+    def _decode_share(self, share: bytes) -> "Optional[tuple]":
+        """Decode either share encoding into ``(index, u_i, a, b, c, z)``.
+
+        Legacy form ``(index, u_i, c, z)`` (commitments recomputed) or the
+        batch-verifiable form ``(index, u_i, a, b, z)`` emitted under the
+        ``batch_verify`` knob.  Returns ``None`` for malformed shares.
+        """
         try:
-            index, u_i, c, z = decode(share)
-        except (EncodingError, ValueError, TypeError):
-            return False
-        if not all(isinstance(v, int) for v in (index, u_i, c, z)):
-            return False
-        if not 1 <= index <= self.n:
-            return False
+            decoded = decode(share)
+        except EncodingError:
+            return None
+        if not isinstance(decoded, tuple) or len(decoded) not in (4, 5):
+            return None
+        if not all(isinstance(v, int) for v in decoded):
+            return None
         grp = self.public.group
-        if not 0 < u_i < grp.p or not (0 <= c < grp.q and 0 <= z < grp.q):
-            return False
-        h_i = self.public.verification_keys[index - 1]
-        # Proof of log_g(h_i) == log_u(u_i).
-        a = (
-            arith.mexp(grp.g, z, grp.p)
-            * arith.mexp(arith.invmod(h_i, grp.p), c, grp.p)
-        ) % grp.p
-        b = (
-            arith.mexp(ctxt.u, z, grp.p)
-            * arith.mexp(arith.invmod(u_i, grp.p), c, grp.p)
-        ) % grp.p
-        expected = hashing.challenge(
+        if len(decoded) == 4:
+            index, u_i, c, z = decoded
+            a = b = None
+            if not (0 <= c < grp.q):
+                return None
+        else:
+            index, u_i, a, b, z = decoded
+            c = None
+            if not (0 < a < grp.p and 0 < b < grp.p):
+                return None
+        if not 1 <= index <= self.n:
+            return None
+        if not 0 < u_i < grp.p or not 0 <= z < grp.q:
+            return None
+        return index, u_i, a, b, c, z
+
+    def _challenge(self, ctxt: Ciphertext, index: int, u_i: int, a: int, b: int) -> int:
+        grp = self.public.group
+        return hashing.challenge(
             _SHARE_DOMAIN,
-            (self.domain, index, ctxt.u, ctxt.c, h_i, u_i, a, b),
+            (self.domain, index, ctxt.u, ctxt.c,
+             self.public.verification_keys[index - 1], u_i, a, b),
             grp.q,
         )
-        return c == expected
+
+    def verify_share(self, ctxt: Ciphertext, share: bytes) -> bool:
+        """Verify one decryption share against a (valid) ciphertext."""
+        fields = self._decode_share(share)
+        if fields is None:
+            return False
+        index, u_i, a, b, c, z = fields
+        grp = self.public.group
+        h_i = self.public.verification_keys[index - 1]
+        if c is not None:
+            # Proof of log_g(h_i) == log_u(u_i): recompute the commitments.
+            a = (
+                fastexp.fb_pow(grp.g, z, grp.p)
+                * fastexp.fb_pow_neg(h_i, c, grp.p, grp.q)
+            ) % grp.p
+            b = (
+                arith.mexp(ctxt.u, z, grp.p)
+                * arith.mexp(arith.invmod(u_i, grp.p), c, grp.p)
+            ) % grp.p
+            return c == self._challenge(ctxt, index, u_i, a, b)
+        # Commitment-carrying form: g^z == a * h_i^c and u^z == b * u_i^c.
+        c = self._challenge(ctxt, index, u_i, a, b)
+        if fastexp.fb_pow(grp.g, z, grp.p) != (a * fastexp.fb_pow(h_i, c, grp.p)) % grp.p:
+            return False
+        rhs = (b * arith.mexp(u_i, c, grp.p)) % grp.p
+        return arith.mexp(ctxt.u, z, grp.p) == rhs
+
+    def verify_shares_batch(
+        self, ctxt: Ciphertext, shares: Dict[int, bytes]
+    ) -> Dict[int, bool]:
+        """Verify many decryption shares with one aggregated check.
+
+        Random-linear-combination batching over the commitment-carrying
+        encoding (see :meth:`ThresholdCoin.verify_shares_batch` — the
+        Chaum-Pedersen structure is identical, with ``u`` in the role of
+        ``g~``).  Falls back to individual verification to localize bad
+        shares; legacy/malformed shares always verify individually.
+        """
+        grp = self.public.group
+        verdicts: Dict[int, bool] = {}
+        batch: List[Tuple[int, tuple]] = []
+        for key in sorted(shares):
+            fields = self._decode_share(shares[key])
+            if fields is None:
+                verdicts[key] = False
+            elif fields[4] is None and fields[0] == key:
+                batch.append((key, fields))
+            else:
+                verdicts[key] = self.verify_share(ctxt, shares[key])
+        if len(batch) == 1:
+            key = batch[0][0]
+            verdicts[key] = self.verify_share(ctxt, shares[key])
+            return verdicts
+        if not batch:
+            return verdicts
+        weights = fastexp.batch_weights(
+            "tdh2.batch", encode((self.domain, ctxt.u, ctxt.c)),
+            [shares[key] for key, _ in batch],
+        )
+        z_bits: List[int] = []
+        c_bits: List[int] = []
+        zsum = 0
+        a_pairs: List[Tuple[int, int]] = []
+        h_pairs: List[Tuple[int, int]] = []
+        b_pairs: List[Tuple[int, int]] = []
+        u_pairs: List[Tuple[int, int]] = []
+        for (key, fields), r in zip(batch, weights):
+            index, u_i, a, b, _, z = fields
+            c = self._challenge(ctxt, index, u_i, a, b)
+            zsum += r * z
+            z_bits.append(z.bit_length())
+            c_bits.append(c.bit_length())
+            a_pairs.append((a, r))
+            h_pairs.append((self.public.verification_keys[index - 1], r * c))
+            b_pairs.append((b, r))
+            u_pairs.append((u_i, r * c))
+        ok = (
+            fastexp.fb_pow(grp.g, zsum % grp.q, grp.p, equiv=z_bits)
+            == fastexp.mexp_multi(a_pairs + h_pairs, grp.p, equiv=c_bits)
+        ) and (
+            fastexp.mexp_multi([(ctxt.u, zsum % grp.q)], grp.p, equiv=z_bits)
+            == fastexp.mexp_multi(b_pairs + u_pairs, grp.p, equiv=c_bits)
+        )
+        for key, _ in batch:
+            verdicts[key] = ok if ok else self.verify_share(ctxt, shares[key])
+        return verdicts
 
     # -- combination -------------------------------------------------------------
 
-    def combine(self, ctxt: Ciphertext, shares: Dict[int, bytes]) -> bytes:
-        """Combine ``k`` verified decryption shares into the plaintext."""
-        if not self.check_ciphertext(ctxt):
+    def combine(
+        self,
+        ctxt: Ciphertext,
+        shares: Dict[int, bytes],
+        verifier: "Optional[object]" = None,
+    ) -> bytes:
+        """Combine ``k`` verified decryption shares into the plaintext.
+
+        ``verifier`` optionally routes the ciphertext validity re-check
+        through a party's :class:`repro.crypto.verifier.ShareVerifier`
+        (whose cache makes the recheck free after the first validation).
+        """
+        if verifier is not None:
+            ctxt_valid = verifier.ciphertext_ok(self, ctxt)
+        else:
+            ctxt_valid = self.check_ciphertext(ctxt)
+        if not ctxt_valid:
             raise InvalidCiphertext("refusing to decrypt an invalid ciphertext")
         if len(shares) < self.k:
             raise CryptoError(f"need {self.k} decryption shares, got {len(shares)}")
@@ -226,15 +338,23 @@ class TDH2ShareHolder:
         self.index = index
         self._share = share
 
-    def decryption_share(self, ctxt: Ciphertext) -> bytes:
+    def decryption_share(
+        self, ctxt: Ciphertext, verifier: "Optional[object]" = None
+    ) -> bytes:
         """Produce a decryption share ``u^{x_i}`` with its equality proof.
 
         Raises :class:`InvalidCiphertext` if the ciphertext NIZK does not
         verify — honest parties never assist in decrypting malformed
         ciphertexts (this is what defeats chosen-ciphertext attacks).
+        ``verifier`` optionally routes that check through the party's
+        cached :class:`repro.crypto.verifier.ShareVerifier`.
         """
         scheme = self.scheme
-        if not scheme.check_ciphertext(ctxt):
+        if verifier is not None:
+            ctxt_valid = verifier.ciphertext_ok(scheme, ctxt)
+        else:
+            ctxt_valid = scheme.check_ciphertext(ctxt)
+        if not ctxt_valid:
             raise InvalidCiphertext("ciphertext failed its validity proof")
         grp = scheme.public.group
         u_i = arith.mexp(ctxt.u, self._share, grp.p)
@@ -243,7 +363,7 @@ class TDH2ShareHolder:
             encode((self.index, self._share, ctxt.u, ctxt.c)),
             grp.q,
         )
-        a = arith.mexp(grp.g, r, grp.p)
+        a = fastexp.fb_pow(grp.g, r, grp.p)
         b = arith.mexp(ctxt.u, r, grp.p)
         h_i = scheme.public.verification_keys[self.index - 1]
         c = hashing.challenge(
@@ -252,4 +372,6 @@ class TDH2ShareHolder:
             grp.q,
         )
         z = (r + self._share * c) % grp.q
+        if fastexp.config().batch_verify:
+            return encode((self.index, u_i, a, b, z))
         return encode((self.index, u_i, c, z))

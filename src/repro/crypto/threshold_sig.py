@@ -24,11 +24,11 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.encoding import decode, encode
 from repro.common.errors import CryptoError, EncodingError, InvalidShare, InvalidSignature
-from repro.crypto import arith, hashing
+from repro.crypto import arith, fastexp, hashing
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
 
 _PROOF_DOMAIN = "shoup.share-proof"
@@ -197,8 +197,13 @@ class ShoupThresholdScheme(ThresholdSignatureScheme):
             x_i_inv_2c = arith.mexp(arith.invmod(x_i_sq, N), c, N)
         except CryptoError:
             return False
-        v_prime = (arith.mexp(v, z, N) * v_i_inv_c) % N
-        x_prime = (arith.mexp(x_tilde, z, N) * x_i_inv_2c) % N
+        # The verifier base v is fixed for the scheme's lifetime and
+        # x_tilde recurs across the whole quorum of shares on one message,
+        # so both big exponentiations benefit from fixed-base tables.  The
+        # negative-exponent trick is NOT available here: the group of
+        # squares mod N has secret order.
+        v_prime = (fastexp.fb_pow(v, z, N) * v_i_inv_c) % N
+        x_prime = (fastexp.fb_pow(x_tilde, z, N) * x_i_inv_2c) % N
         expected = hashing.challenge(
             _PROOF_DOMAIN,
             (self.domain, index, v, x_tilde, v_i, x_i_sq, v_prime, x_prime),
@@ -276,8 +281,8 @@ class ShoupSigner(ThresholdSigner):
         r = hashing.hash_to_int(
             "shoup.nonce", encode((self.index, self._share, message)), bound
         )
-        v_prime = arith.mexp(scheme.public.v, r, N)
-        x_prime = arith.mexp(x_tilde, r, N)
+        v_prime = fastexp.fb_pow(scheme.public.v, r, N)
+        x_prime = fastexp.fb_pow(x_tilde, r, N)
         x_i_sq = (x_i * x_i) % N
         v_i = scheme.public.verification_keys[self.index - 1]
         c = hashing.challenge(
@@ -348,7 +353,62 @@ class MultiSignatureScheme(ThresholdSignatureScheme):
             picked.append((index, decoded[1]))
         return encode(picked)
 
-    def verify(self, message: bytes, signature: bytes) -> bool:
+    def members(self, signature: bytes) -> "Optional[List[tuple]]":
+        """Decode an assembled signature into its ``(index, sig)`` members.
+
+        Returns ``None`` when the signature is structurally invalid (bad
+        encoding, duplicate or out-of-range indices, fewer than ``k``
+        entries) — exactly the cases :meth:`verify` rejects before
+        performing any exponentiation.  Verification strategies use this
+        to check members individually, so a certificate whose component
+        signatures were already verified as shares costs nothing extra.
+        """
+        try:
+            entries = decode(signature)
+        except EncodingError:
+            return None
+        if not isinstance(entries, list) or len(entries) < self.k:
+            return None
+        seen = set()
+        out = []
+        for entry in entries:
+            if not isinstance(entry, tuple) or len(entry) != 2:
+                return None
+            index, sig = entry
+            if not isinstance(index, int) or not 1 <= index <= self.n:
+                return None
+            if index in seen or not isinstance(sig, int):
+                return None
+            seen.add(index)
+            out.append((index, sig))
+        return out
+
+    def share_member(self, share: bytes) -> "Optional[tuple]":
+        """The ``(index, sig)`` member a share contributes, or ``None``."""
+        try:
+            index = self.share_index(share)
+            _, sig = decode(share)
+        except (InvalidShare, EncodingError, ValueError, TypeError):
+            return None
+        if not isinstance(sig, int):
+            return None
+        return index, sig
+
+    def verify_member(self, index: int, message: bytes, sig: int) -> bool:
+        """Verify one member signature (one RSA verification)."""
+        return self.public_keys[index - 1].verify(self.domain, message, sig)
+
+    def verify(
+        self, message: bytes, signature: bytes, pow_many: Optional[Callable] = None
+    ) -> bool:
+        """Check an assembled multi-signature.
+
+        ``pow_many`` optionally routes the ``k`` independent RSA
+        exponentiations through a bulk executor (the
+        :class:`repro.crypto.fastexp.OffloadPool` offload path); the
+        verdict and the recorded operation counts are identical either
+        way.
+        """
         try:
             entries = decode(signature)
         except EncodingError:
@@ -356,6 +416,7 @@ class MultiSignatureScheme(ThresholdSignatureScheme):
         if not isinstance(entries, list) or len(entries) < self.k:
             return False
         seen = set()
+        checks = []  # (public key, signature) pairs awaiting the bulk path
         for entry in entries:
             if not isinstance(entry, tuple) or len(entry) != 2:
                 return False
@@ -364,9 +425,20 @@ class MultiSignatureScheme(ThresholdSignatureScheme):
                 return False
             if index in seen or not isinstance(sig, int):
                 return False
-            if not self.public_keys[index - 1].verify(self.domain, message, sig):
-                return False
+            pk = self.public_keys[index - 1]
+            if pow_many is None:
+                if not pk.verify(self.domain, message, sig):
+                    return False
+            else:
+                if not 0 < sig < pk.n:
+                    return False
+                checks.append((pk, sig))
             seen.add(index)
+        if checks:
+            results = pow_many([(sig, pk.e, pk.n) for pk, sig in checks])
+            for (pk, _), got in zip(checks, results):
+                if got != pk.verify_target(self.domain, message):
+                    return False
         return len(seen) >= self.k
 
 
@@ -374,6 +446,7 @@ def combine_optimistically(
     scheme: ThresholdSignatureScheme,
     message: bytes,
     shares: Dict[int, bytes],
+    verifier: Optional[object] = None,
 ) -> Optional[bytes]:
     """Combine-first, verify-shares-only-on-failure (robust fast path).
 
@@ -385,26 +458,38 @@ def combine_optimistically(
     ``shares`` (mutating the caller's dict), and return ``None`` so the
     caller can wait for replacement shares.  Guarantees: returns either a
     valid signature or ``None``.
+
+    ``verifier`` optionally routes the signature/share checks through a
+    party's :class:`repro.crypto.verifier.ShareVerifier` (cached and
+    offload-aware).
     """
+    def _verify(sig: bytes) -> bool:
+        if verifier is not None:
+            return verifier.sig_ok(scheme, message, sig)
+        return scheme.verify(message, sig)
+
+    def _share_ok(share: bytes) -> bool:
+        if verifier is not None:
+            return verifier.sig_share_ok(scheme, message, share)
+        return scheme.verify_share(message, share)
+
     try:
         signature = scheme.combine(message, shares)
     except (CryptoError, InvalidShare):
         signature = None
     else:
-        if scheme.verify(message, signature):
+        if _verify(signature):
             return signature
         signature = None
     # Slow path: a corrupted party contributed garbage.
     bad = [
-        index
-        for index, share in shares.items()
-        if not scheme.verify_share(message, share)
+        index for index, share in shares.items() if not _share_ok(share)
     ]
     for index in bad:
         del shares[index]
     if len(shares) >= scheme.k:
         signature = scheme.combine(message, shares)
-        if scheme.verify(message, signature):
+        if _verify(signature):
             return signature
     return None
 

@@ -1,0 +1,290 @@
+"""Per-party verification strategy for threshold-crypto shares.
+
+Protocol code routes every share/signature/ciphertext check through its
+party's :class:`ShareVerifier` (``ctx.crypto.accel``) instead of calling
+the schemes directly.  The verifier applies the acceleration knobs of the
+active :class:`repro.crypto.fastexp.AccelConfig`:
+
+* **verified-result caching** (``share_cache``): a share, signature or
+  ciphertext proof that verified once is never re-verified; the cache
+  stores the captured operation counter of the original verification so a
+  hit can be billed at its exact naive-equivalent cost (which is what
+  keeps ``bill_naive`` runs schedule-identical to unaccelerated ones).
+
+* **batch verification** (``batch_verify``): a quorum of
+  commitment-carrying shares is checked with two random-linear-combination
+  multi-exponentiations instead of ``4k`` individual exponentiations,
+  falling back to individual verification to localize a bad share.
+
+* **verify-on-quorum** (``verify_on_quorum``): share checks stop as soon
+  as ``k`` valid shares are in hand; the remainder stays unverified.
+
+* **pool offload** (``offload`` / :class:`repro.crypto.fastexp.
+  OffloadPool`): bulk exponentiations (multi-signature certificate
+  verification) run on worker processes.
+
+Every cache is **per party**: scheme objects are shared between the
+simulated parties of a run, so any scheme-level memoization would let one
+party ride on another's CPU time.  With all knobs off (the default) every
+method degrades to a plain scheme call — behaviour and recorded operation
+counts are identical to the unaccelerated implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.crypto import fastexp, hashing, opcount
+
+#: A quorum-verification result: (valid shares by index, bad share indices).
+QuorumResult = Tuple[Dict[int, bytes], List[int]]
+
+
+class ShareVerifier:
+    """Strategy-aware, per-party verification front-end (see module doc)."""
+
+    def __init__(self) -> None:
+        self._results: Optional[fastexp.LRU] = None
+        self.pool: Optional[fastexp.OffloadPool] = None
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _cache(self) -> Optional[fastexp.LRU]:
+        size = fastexp.config().share_cache
+        if not size:
+            return None
+        if self._results is None:
+            self._results = fastexp.LRU(size)
+        return self._results
+
+    def _memo(self, key: tuple, compute: Callable[[], Any]) -> Any:
+        """Compute-once with exact-cost replay on later hits."""
+        cache = self._cache()
+        if cache is None:
+            return compute()
+        hit = cache.get(key)
+        if hit is not None:
+            verdict, counter = hit
+            opcount.record_saved(counter)
+            return verdict
+        with fastexp.capture() as counter:
+            verdict = compute()
+        cache.put(key, (verdict, counter))
+        return verdict
+
+    def _store(self, key: tuple, verdict: bool, counter: opcount.OpCounter) -> None:
+        cache = self._cache()
+        if cache is not None:
+            cache.put(key, (verdict, counter))
+
+    @property
+    def defer_shares(self) -> bool:
+        """Should per-share checks wait for a candidate quorum?"""
+        return fastexp.config().verify_on_quorum
+
+    @property
+    def batch(self) -> bool:
+        """Is random-linear-combination batch verification enabled?"""
+        return fastexp.config().batch_verify
+
+    def attach_pool(self, pool: Optional[fastexp.OffloadPool]) -> None:
+        self.pool = pool
+
+    # -- threshold coin ---------------------------------------------------------
+
+    def gtilde(self, coin: Any, name: bytes) -> int:
+        """The coin's group element ``g~ = H'(name)``, cached per party.
+
+        The cofactor exponentiation inside ``hash_to_group`` is a
+        full-size-exponent operation performed by *every* naive share
+        verification; caching it per (domain, name) is one of the larger
+        wins of the verified-result cache.
+        """
+        return self._memo(
+            ("gtilde", coin.domain, bytes(name)),
+            lambda: coin._name_to_group(name),
+        )
+
+    def coin_share_ok(self, coin: Any, name: bytes, share: bytes) -> bool:
+        """Verify one coin share (cached)."""
+        return self._memo(
+            ("coin", coin.domain, bytes(name), bytes(share)),
+            lambda: coin.verify_share(name, share, gtilde=self.gtilde(coin, name)),
+        )
+
+    def coin_quorum(self, coin: Any, name: bytes, shares: Dict[int, bytes]) -> QuorumResult:
+        """Partition candidate coin shares into valid and invalid.
+
+        Under ``verify_on_quorum``, verification stops once ``coin.k``
+        valid shares are found — later entries are left unverified and
+        appear in neither part of the result.  Under ``batch_verify``,
+        uncached shares are checked with one random-linear-combination
+        batch (falling back internally to localize bad shares).
+        """
+        return self._quorum(
+            shares,
+            coin.k,
+            lambda s: ("coin", coin.domain, bytes(name), bytes(s)),
+            lambda s: self.coin_share_ok(coin, name, s),
+            lambda pending: coin.verify_shares_batch(
+                name, pending, gtilde=self.gtilde(coin, name)
+            ),
+            equiv_bits=(coin.public.group.p.bit_length(), coin.public.group.q.bit_length()),
+        )
+
+    # -- threshold decryption ---------------------------------------------------
+
+    def _ctxt_key(self, scheme: Any, ctxt: Any) -> bytes:
+        return hashing.sha256(ctxt.to_bytes())
+
+    def ciphertext_ok(self, scheme: Any, ctxt: Any) -> bool:
+        """Verify a TDH2 ciphertext's NIZK of well-formedness (cached)."""
+        return self._memo(
+            ("tdh2.ctxt", scheme.domain, self._ctxt_key(scheme, ctxt)),
+            lambda: scheme.check_ciphertext(ctxt),
+        )
+
+    def enc_share_ok(self, scheme: Any, ctxt: Any, share: bytes) -> bool:
+        """Verify one decryption share against a ciphertext (cached)."""
+        return self._memo(
+            ("tdh2.share", scheme.domain, self._ctxt_key(scheme, ctxt), bytes(share)),
+            lambda: scheme.verify_share(ctxt, share),
+        )
+
+    def enc_quorum(self, scheme: Any, ctxt: Any, shares: Dict[int, bytes]) -> QuorumResult:
+        """Partition candidate decryption shares (see :meth:`coin_quorum`)."""
+        ckey = self._ctxt_key(scheme, ctxt)
+        return self._quorum(
+            shares,
+            scheme.k,
+            lambda s: ("tdh2.share", scheme.domain, ckey, bytes(s)),
+            lambda s: self.enc_share_ok(scheme, ctxt, s),
+            lambda pending: scheme.verify_shares_batch(ctxt, pending),
+            equiv_bits=(scheme.public.group.p.bit_length(), scheme.public.group.q.bit_length()),
+        )
+
+    # -- threshold signatures ---------------------------------------------------
+
+    def sig_share_ok(self, scheme: Any, message: bytes, share: bytes) -> bool:
+        """Verify one threshold-signature share (cached).
+
+        Multi-signature shares are cached under their ``(index, sig)``
+        member identity so a later certificate containing the same RSA
+        signature (see :meth:`sig_ok`) is a cache hit, and vice versa.
+        """
+        if self._cache() is not None and hasattr(scheme, "share_member"):
+            member = scheme.share_member(share)
+            if member is None:
+                return False
+            index, sig = member
+            return self._memo(
+                ("sig.m", scheme.domain, bytes(message), index, sig),
+                lambda: scheme.verify_member(index, message, sig),
+            )
+        return self._memo(
+            ("sig.share", scheme.domain, bytes(message), bytes(share)),
+            lambda: scheme.verify_share(message, share),
+        )
+
+    def sig_ok(self, scheme: Any, message: bytes, signature: bytes) -> bool:
+        """Verify an assembled threshold signature (cached).
+
+        Certificates recur: availability certificates and vote
+        justifications are re-checked at several protocol layers, and a
+        multi-signature verify is ``k`` RSA verifications each time.  A
+        multi-signature certificate is verified member by member against
+        the same cache entries as the individual shares it was combined
+        from, so certificate verification right after share collection
+        performs no new exponentiations.  With an offload pool attached,
+        uncached RSA exponentiations run on worker processes.
+        """
+        if self._cache() is not None and hasattr(scheme, "members"):
+            entries = scheme.members(signature)
+            if entries is None:
+                return False
+            for index, sig in entries:
+                verdict = self._memo(
+                    ("sig.m", scheme.domain, bytes(message), index, sig),
+                    lambda index=index, sig=sig: scheme.verify_member(
+                        index, message, sig
+                    ),
+                )
+                if not verdict:
+                    return False
+            return True
+        pool = self.pool
+        if pool is not None and hasattr(scheme, "public_keys"):
+            compute = lambda: scheme.verify(  # noqa: E731
+                message, signature, pow_many=pool.pow_many
+            )
+        else:
+            compute = lambda: scheme.verify(message, signature)  # noqa: E731
+        return self._memo(
+            ("sig", scheme.domain, bytes(message), bytes(signature)), compute
+        )
+
+    # -- ordinary per-party RSA signatures ---------------------------------------
+
+    def party_sig_ok(
+        self, pk: Any, signer: int, domain: str, message: bytes, sig: int
+    ) -> bool:
+        """Verify party ``signer``'s ordinary RSA signature (cached).
+
+        Batch vectors and wedge statements are signed once but re-checked
+        on every validity predicate evaluation; caching the verdict turns
+        all but the first check into a replay.
+        """
+        return self._memo(
+            ("rsa", domain, signer, bytes(message), sig),
+            lambda: pk.verify(domain, message, sig),
+        )
+
+    # -- generic quorum machinery ----------------------------------------------
+
+    def _quorum(
+        self,
+        shares: Dict[int, bytes],
+        k: int,
+        key_of: Callable[[bytes], tuple],
+        check_one: Callable[[bytes], bool],
+        check_batch: Callable[[Dict[int, bytes]], Dict[int, bool]],
+        equiv_bits: Tuple[int, int],
+    ) -> QuorumResult:
+        cfg = fastexp.config()
+        cache = self._cache()
+        valid: Dict[int, bytes] = {}
+        bad: List[int] = []
+        pending: Dict[int, bytes] = {}
+        for index in sorted(shares):
+            if cfg.verify_on_quorum and len(valid) >= k:
+                break  # quorum in hand; leave the rest unverified
+            share = shares[index]
+            hit = cache.get(key_of(share)) if cache is not None else None
+            if hit is not None:
+                verdict, counter = hit
+                opcount.record_saved(counter)
+                (valid.__setitem__(index, share) if verdict else bad.append(index))
+            elif cfg.batch_verify:
+                pending[index] = share
+            elif check_one(share):
+                valid[index] = share
+            else:
+                bad.append(index)
+        if pending:
+            if cfg.verify_on_quorum and len(valid) >= k:
+                return valid, bad
+            verdicts = check_batch(pending)
+            modbits, expbits = equiv_bits
+            for index, verdict in verdicts.items():
+                # Batch-verified shares enter the cache at the approximate
+                # per-share naive cost (four proof exponentiations); exact
+                # per-share attribution does not exist inside one batch.
+                counter = opcount.OpCounter()
+                for _ in range(4):
+                    counter.add_equiv(modbits, expbits)
+                self._store(key_of(pending[index]), verdict, counter)
+                (valid.__setitem__(index, pending[index]) if verdict else bad.append(index))
+        return valid, bad
+
+
+__all__ = ["QuorumResult", "ShareVerifier"]

@@ -14,12 +14,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.core.party import make_parties
+from repro.crypto import fastexp
 from repro.crypto.dealer import SIG_MODE_MULTI, fast_group
 from repro.crypto.params import SecurityParams
+from repro.experiments.setups import Setup
 from repro.net.runtime import SimRuntime
 from repro.obs import export as obs_export
 from repro.obs.recorder import Recorder
-from repro.experiments.setups import Setup
 
 CHANNEL_ATOMIC = "atomic"
 CHANNEL_SECURE = "secure"
@@ -115,6 +116,7 @@ def run_channel_experiment(
     seed: object = 0,
     time_limit: float = 50_000.0,
     recorder: Optional[Recorder] = None,
+    accel: object = None,
 ) -> ExperimentResult:
     """Run one experiment and return the recipient's delivery timings.
 
@@ -123,7 +125,34 @@ def run_channel_experiment(
     ``recorder`` is given, the whole stack records into it (phase
     durations on the simulated clock) and per-node CPU gauges are set at
     the end of the run.
+
+    ``accel`` selects the crypto acceleration profile for the run —
+    anything :func:`repro.crypto.fastexp.resolve` accepts (``None``/
+    ``False`` for the plain implementation, ``True``/``"full"``,
+    ``"metered"``, or an :class:`~repro.crypto.fastexp.AccelConfig`).
+    Precomputation tables are cleared before the run so records never
+    inherit another run's precomputed state.
     """
+    cfg = fastexp.resolve(accel) or fastexp.AccelConfig()
+    fastexp.clear_tables()  # no cross-run precompute inheritance
+    with fastexp.accelerated(cfg):
+        return _run_channel_experiment(
+            setup, channel, senders, messages, sig_mode, security,
+            seed, time_limit, recorder,
+        )
+
+
+def _run_channel_experiment(
+    setup: Setup,
+    channel: ChannelKind,
+    senders: Sequence[int],
+    messages: int,
+    sig_mode: str,
+    security: Optional[SecurityParams],
+    seed: object,
+    time_limit: float,
+    recorder: Optional[Recorder],
+) -> ExperimentResult:
     wall_start = time.perf_counter()
     security = security or SecurityParams.small()
     group = fast_group(

@@ -21,13 +21,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ReproError, TransportError
-from repro.crypto.dealer import GroupConfig
 from repro.core.protocol import Context, Router
+from repro.crypto.dealer import GroupConfig
 from repro.net import links
-from repro.net.costmodel import CostModel, HostSpec, LAN_HOSTS
+from repro.net.costmodel import CostModel, HostSpec
 from repro.net.faults import FaultPlan
 from repro.net.latency import LatencyModel, UniformLatency
-from repro.net.message import unpack_body, pack_body
+from repro.net.message import pack_body, unpack_body
 from repro.net.sim import SimFuture, SimNode, SimQueue, Simulator
 from repro.obs.recorder import NULL as NULL_RECORDER
 from repro.obs.recorder import Recorder

@@ -72,13 +72,14 @@ from repro.crypto.dealer import GroupConfig
 from repro.net import links
 from repro.net.failure_detector import FailureDetector
 from repro.net.message import pack_body, unpack_body
-from repro.obs.recorder import NULL as NULL_RECORDER, Recorder
 from repro.net.sliding_window import (
     KIND_ACK,
     KIND_DATA,
     SlidingWindowReceiver,
     SlidingWindowSender,
 )
+from repro.obs.recorder import NULL as NULL_RECORDER
+from repro.obs.recorder import Recorder
 
 logger = logging.getLogger("repro.net.tcp")
 

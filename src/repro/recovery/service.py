@@ -136,6 +136,7 @@ class RecoverableService(ReplicatedService):
         self.ckpt_store = CheckpointStore(os.path.join(directory, "checkpoint.bin"))
         self.scheme = checkpoint_scheme(party.ctx.crypto)
         self.signer = checkpoint_signer(party.ctx.crypto, self.scheme)
+        self.accel = party.ctx.crypto.accel
         #: sequence of the newest certified checkpoint this replica holds
         self.last_certified = 0
         self._last_proposed = 0
@@ -390,7 +391,7 @@ class RecoverableService(ReplicatedService):
         try:
             if self.scheme.share_index(share) != index:
                 raise CheckpointError("share signed under a different index")
-            if not self.scheme.verify_share(pending["statement"], share):
+            if not self.accel.sig_share_ok(self.scheme, pending["statement"], share):
                 raise CheckpointError("share does not verify")
         except (ReproError, CheckpointError):
             # Either a corrupted share or an honest peer checkpointing a
@@ -405,7 +406,7 @@ class RecoverableService(ReplicatedService):
         if pending is None or len(pending["shares"]) < self.scheme.k:
             return
         signature = combine_optimistically(
-            self.scheme, pending["statement"], pending["shares"]
+            self.scheme, pending["statement"], pending["shares"], verifier=self.accel
         )
         if signature is None:
             return

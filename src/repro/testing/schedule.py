@@ -37,9 +37,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common import rng as rng_mod
 from repro.common.encoding import encode
+from repro.core.party import Party, make_parties
 from repro.crypto.dealer import GroupConfig, fast_group
 from repro.crypto.params import SecurityParams
-from repro.core.party import Party, make_parties
 from repro.net.faults import (
     CompositeAdversary,
     CrashFault,
