@@ -1,0 +1,8 @@
+"""``python -m repro.adversary`` — run or replay adversary campaigns."""
+
+import sys
+
+from repro.adversary.harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""Liveness watchdog: typed stall detection for protocol runs.
+
+The paper's liveness claim — every honest party eventually decides and
+delivers — used to be testable only negatively: a violating schedule made
+the test *hang* until the simulator ran out of events or simulated time,
+and the failure surfaced as an opaque ``SimError``.  This module turns
+that failure mode into a first-class, typed :class:`LivenessViolation`
+carrying a protocol-state dump.
+
+The mechanism is a set of **progress sentinels**, one per watched protocol
+instance.  A sentinel reduces the instance to a monotone *progress
+fingerprint* — for agreement: ``(round entered, decided)``; for channels:
+``(slots delivered, enqueued backlog drained, closed)`` — and the
+:class:`LivenessWatchdog` polls all fingerprints after every delivery.
+Deadlines run on the runtime's own clock (simulated seconds under
+:class:`~repro.net.runtime.SimRuntime`), so detection is deterministic and
+seed-reproducible like everything else in the harness.
+
+Stalled parties feed a :class:`~repro.net.failure_detector.FailureDetector`
+instance: a sentinel's progress events ``touch`` its party, so a party
+whose instances stop contributing drifts ``alive -> suspect -> down``
+exactly like a silent peer does on the real TCP runtime, and the
+``fd.suspect.entered`` / ``fd.suspect.cleared`` transition counters show
+detection latency in exported BENCH records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.failure_detector import FailureDetector
+from repro.obs.recorder import NULL as NULL_RECORDER
+from repro.obs.recorder import Recorder
+
+
+class LivenessViolation(AssertionError):
+    """A watched protocol run stopped making progress before termination.
+
+    Derives from :class:`AssertionError` (like
+    :class:`~repro.testing.invariants.InvariantViolation`) so no error
+    containment layer can swallow it.  ``dump`` is the watchdog's
+    protocol-state snapshot at detection time: per-sentinel progress
+    fingerprints, stall ages, and the failure detector's suspicion map.
+    """
+
+    def __init__(self, detail: str, dump: Optional[Dict[str, Any]] = None):
+        self.detail = detail
+        self.dump: Dict[str, Any] = dump or {}
+        text = detail
+        if dump:
+            stalled = dump.get("stalled") or []
+            if stalled:
+                text += f" stalled={stalled}"
+            suspects = dump.get("suspects") or {}
+            bad = {p: s for p, s in suspects.items() if s != "alive"}
+            if bad:
+                text += f" suspects={bad}"
+        super().__init__(text)
+
+
+class ProgressSentinel:
+    """One watched instance, reduced to a monotone progress fingerprint."""
+
+    def __init__(
+        self,
+        name: str,
+        party: int,
+        progress: Callable[[], Tuple],
+        done: Callable[[], bool],
+        dump: Callable[[], Dict[str, Any]],
+    ):
+        self.name = name
+        self.party = party
+        self.progress = progress
+        self.done = done
+        self.dump = dump
+        self.last_fingerprint: Optional[Tuple] = None
+        self.last_change = 0.0
+
+    def state(self, now: float) -> Dict[str, Any]:
+        info = dict(self.dump())
+        info["done"] = self.done()
+        info["stalled_for"] = round(now - self.last_change, 6)
+        return info
+
+
+def sentinel_for(name: str, party: int, obj: Any, future: Any = None) -> ProgressSentinel:
+    """Build a sentinel for a protocol instance by duck-typing its surface.
+
+    * agreement-like (``round`` + ``decided``) — progress is the round
+      counter and the decision flag (paper: rounds entered vs. decided);
+    * channel-like (``deliveries``) — progress is slots delivered, the
+      send-backlog level and the closed flag (slots delivered vs.
+      enqueued);
+    * anything else — the supplied ``future``'s resolution is the only
+      observable progress.
+    """
+    if hasattr(obj, "decided"):
+        def rounds() -> int:
+            # binary agreement counts ``round``; multi-valued agreement
+            # counts candidate iterations as ``rounds_used``.
+            return getattr(obj, "round", None) or getattr(obj, "rounds_used", 0)
+
+        def progress() -> Tuple:
+            return (rounds(), obj.decided.done)
+
+        def done() -> bool:
+            return bool(obj.decided.done)
+
+        def dump() -> Dict[str, Any]:
+            return {
+                "kind": "agreement",
+                "round": rounds(),
+                "decided": bool(obj.decided.done),
+            }
+
+        return ProgressSentinel(name, party, progress, done, dump)
+    if hasattr(obj, "deliveries"):
+        def progress() -> Tuple:
+            return (len(obj.deliveries), obj.pending(), obj.is_closed())
+
+        def done() -> bool:
+            return bool(obj.is_closed())
+
+        def dump() -> Dict[str, Any]:
+            info: Dict[str, Any] = {
+                "kind": "channel",
+                "delivered": len(obj.deliveries),
+                "enqueued": obj.pending(),
+                "closed": bool(obj.is_closed()),
+            }
+            if hasattr(obj, "round"):
+                info["round"] = obj.round
+            return info
+
+        return ProgressSentinel(name, party, progress, done, dump)
+    if future is None:
+        raise ValueError(f"cannot derive a sentinel for {obj!r} without a future")
+
+    def fut_progress() -> Tuple:
+        return (bool(future.done),)
+
+    def fut_done() -> bool:
+        return bool(future.done)
+
+    def fut_dump() -> Dict[str, Any]:
+        return {"kind": "future", "resolved": bool(future.done)}
+
+    return ProgressSentinel(name, party, fut_progress, fut_done, fut_dump)
+
+
+class LivenessWatchdog:
+    """Deadline-driven stall detection over a set of progress sentinels.
+
+    ``deadline`` is the maximum time (on the runtime clock) any unfinished
+    sentinel may go without a fingerprint change before the run is
+    declared stalled.  :meth:`attach` hooks the cheap per-delivery poll
+    into the runtime; :meth:`arm` schedules the recurring deadline check
+    that raises :class:`LivenessViolation` — so a dead-silent run (no
+    deliveries at all) is detected too, *before* the simulator idles out.
+    """
+
+    def __init__(
+        self,
+        deadline: float = 30.0,
+        recorder: Optional[Recorder] = None,
+    ):
+        if deadline <= 0:
+            raise ValueError("watchdog deadline must be positive")
+        self.deadline = deadline
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.sentinels: List[ProgressSentinel] = []
+        self.detector: Optional[FailureDetector] = None
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._runtime: Any = None
+        self.polls = 0
+        self.stalls_detected = 0
+
+    def watch(self, sentinel: ProgressSentinel) -> "LivenessWatchdog":
+        self.sentinels.append(sentinel)
+        return self
+
+    def attach(self, runtime: Any) -> "LivenessWatchdog":
+        """Bind clocks, seed fingerprints, register the per-delivery poll."""
+        self._runtime = runtime
+        self._clock = lambda: runtime.now
+        now = self._clock()
+        parties = sorted({s.party for s in self.sentinels})
+        if parties:
+            self.detector = FailureDetector(
+                parties,
+                suspect_after=self.deadline / 2.0,
+                down_after=self.deadline,
+                now=now,
+                recorder=self.obs,
+            )
+        for s in self.sentinels:
+            s.last_fingerprint = s.progress()
+            s.last_change = now
+        runtime.delivery_listeners.append(self._on_delivery)
+        return self
+
+    # -- polling -----------------------------------------------------------------
+
+    def _on_delivery(self, dst: int) -> None:
+        self.poll()
+
+    def poll(self) -> None:
+        """Refresh fingerprints; record progress with the failure detector."""
+        self.polls += 1
+        now = self._clock()
+        for s in self.sentinels:
+            fp = s.progress()
+            if fp != s.last_fingerprint:
+                s.last_fingerprint = fp
+                s.last_change = now
+                if self.detector is not None:
+                    self.detector.touch(s.party, now)
+                if self.obs.enabled:
+                    self.obs.count("liveness.progress")
+        if self.detector is not None:
+            self.detector.states(now)  # roll suspicion transitions forward
+
+    # -- stall detection ---------------------------------------------------------
+
+    def stalled(self) -> List[ProgressSentinel]:
+        """Unfinished sentinels past the deadline, oldest stall first."""
+        self.poll()
+        now = self._clock()
+        out = [
+            s
+            for s in self.sentinels
+            if not s.done() and now - s.last_change >= self.deadline
+        ]
+        return sorted(out, key=lambda s: s.last_change)
+
+    def dump(self) -> Dict[str, Any]:
+        """The protocol-state snapshot embedded in violations."""
+        now = self._clock()
+        suspects = self.detector.states(now) if self.detector is not None else {}
+        return {
+            "now": round(now, 6),
+            "deadline": self.deadline,
+            "stalled": [
+                s.name
+                for s in self.sentinels
+                if not s.done() and now - s.last_change >= self.deadline
+            ],
+            "suspects": suspects,
+            "sentinels": {s.name: s.state(now) for s in self.sentinels},
+        }
+
+    def check(self) -> None:
+        """Raise :class:`LivenessViolation` if any sentinel is stalled."""
+        stalled = self.stalled()
+        if not stalled:
+            return
+        self.stalls_detected += len(stalled)
+        if self.obs.enabled:
+            self.obs.count("liveness.stalls", len(stalled))
+        names = ", ".join(s.name for s in stalled)
+        raise LivenessViolation(
+            f"no progress for {self.deadline}s at: {names}", self.dump()
+        )
+
+    def diagnose(self, reason: str) -> LivenessViolation:
+        """Wrap an external liveness symptom (e.g. simulator idle/timeout).
+
+        Used when the run dies before a deadline check fires — the
+        violation still carries the full protocol-state dump.
+        """
+        self.poll()
+        self.stalls_detected += 1
+        if self.obs.enabled:
+            self.obs.count("liveness.stalls")
+        return LivenessViolation(reason, self.dump())
+
+    # -- the deadline timer ------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule the recurring deadline check on the attached runtime.
+
+        The check re-arms itself while any sentinel is unfinished, so the
+        simulator always has a future event pending up to the moment the
+        watchdog either declares the run live (all done) or raises.  The
+        raise propagates out of ``run_until`` to the harness.
+        """
+        if self._runtime is None:
+            raise ValueError("attach() the watchdog to a runtime before arm()")
+        self._schedule_check()
+
+    def _schedule_check(self) -> None:
+        self._runtime.sim.schedule(self.deadline, self._deadline_check)
+
+    def _deadline_check(self) -> None:
+        if self.obs.enabled:
+            self.obs.count("liveness.checks")
+        self.check()  # raises on stall
+        if any(not s.done() for s in self.sentinels):
+            self._schedule_check()

@@ -30,6 +30,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.common.errors import ConfigError
+from repro.obs.recorder import NULL as NULL_RECORDER
+from repro.obs.recorder import Recorder
 
 ALIVE = "alive"
 SUSPECT = "suspect"
@@ -42,6 +44,14 @@ class FailureDetector:
     ``suspect_after`` and ``down_after`` are seconds of silence; the clock
     is whatever the caller passes as ``now`` (the asyncio loop clock under
     :class:`~repro.net.tcp.TcpNode`, a synthetic float in tests).
+
+    When a ``recorder`` is given, suspicion *transitions* are surfaced as
+    counters — ``fd.suspect.entered`` / ``fd.suspect.cleared`` (and
+    ``fd.down.entered`` for the terminal step) — so exported BENCH records
+    show how often and how fast silence was detected.  States are a pure
+    function of the last-progress timestamps, so transitions are noted at
+    observation time: whenever :meth:`state`, :meth:`states` or
+    :meth:`touch` recomputes a peer's classification.
     """
 
     def __init__(
@@ -50,12 +60,15 @@ class FailureDetector:
         suspect_after: float = 2.0,
         down_after: float = 6.0,
         now: float = 0.0,
+        recorder: Optional[Recorder] = None,
     ):
         if suspect_after <= 0 or down_after <= suspect_after:
             raise ConfigError("need 0 < suspect_after < down_after")
         self.suspect_after = suspect_after
         self.down_after = down_after
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self._last: Dict[int, float] = {peer: now for peer in peers}
+        self._noted: Dict[int, str] = {peer: ALIVE for peer in self._last}
 
     @property
     def peers(self) -> List[int]:
@@ -67,6 +80,7 @@ class FailureDetector:
             raise ConfigError(f"unknown peer {peer}")
         if now > self._last[peer]:
             self._last[peer] = now
+        self._note(peer, self.state(peer, now))
 
     def last_progress(self, peer: int) -> float:
         return self._last[peer]
@@ -74,10 +88,28 @@ class FailureDetector:
     def state(self, peer: int, now: float) -> str:
         age = now - self._last[peer]
         if age >= self.down_after:
-            return DOWN
-        if age >= self.suspect_after:
-            return SUSPECT
-        return ALIVE
+            state = DOWN
+        elif age >= self.suspect_after:
+            state = SUSPECT
+        else:
+            state = ALIVE
+        self._note(peer, state)
+        return state
+
+    def _note(self, peer: int, state: str) -> None:
+        """Count a suspicion transition the first time it is observed."""
+        previous = self._noted[peer]
+        if state == previous:
+            return
+        self._noted[peer] = state
+        if not self.obs.enabled:
+            return
+        if previous == ALIVE and state in (SUSPECT, DOWN):
+            self.obs.count("fd.suspect.entered")
+        if state == DOWN:
+            self.obs.count("fd.down.entered")
+        if state == ALIVE:
+            self.obs.count("fd.suspect.cleared")
 
     def states(self, now: float) -> Dict[int, str]:
         return {peer: self.state(peer, now) for peer in self._last}

@@ -372,7 +372,11 @@ class TcpNode:
             self.obs.bind_clock(loop.time)
         peers = [p for p in range(self.group.n) if p != self.index]
         self.failure_detector = FailureDetector(
-            peers, self.suspect_after, self.down_after, now=loop.time()
+            peers,
+            self.suspect_after,
+            self.down_after,
+            now=loop.time(),
+            recorder=self.obs,
         )
         host, port = self.listen_endpoint
         self._server = await asyncio.start_server(self._on_peer, host, port)

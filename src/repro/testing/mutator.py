@@ -41,6 +41,8 @@ from repro.common.encoding import decode, encode
 from repro.common.errors import EncodingError
 from repro.crypto.dealer import GroupConfig
 from repro.net import links
+from repro.obs.recorder import NULL as NULL_RECORDER
+from repro.obs.recorder import Recorder
 
 #: Alphabet for generated strings (covers the protocols' mtype/pid space).
 _CHARS = "abcdefghijklmnopqrstuvwxyz-0123456789"
@@ -124,6 +126,7 @@ class ByzantineMutator:
         rng: random.Random,
         rates: Optional[MutationRates] = None,
         history_limit: int = 64,
+        recorder: Optional[Recorder] = None,
     ):
         if len(compromised) > group.t:
             raise ValueError(
@@ -133,6 +136,7 @@ class ByzantineMutator:
         self.compromised = frozenset(compromised)
         self.rng = rng
         self.rates = rates or MutationRates()
+        self.obs = recorder if recorder is not None else NULL_RECORDER
         self._history: Dict[int, List[bytes]] = {i: [] for i in self.compromised}
         self._by_type: Dict[Tuple[int, str, str], List[bytes]] = {}
         self._history_limit = history_limit
@@ -151,6 +155,13 @@ class ByzantineMutator:
         body = self._open_own(src, wire)
         if body is not None:
             self._remember(src, body)
+        else:
+            # A frame we could not parse passes through the structural
+            # mutations unharmed — surface that, or coverage gaps (a wire
+            # format the mutator no longer understands) stay invisible.
+            self._did("skipped", None)
+            if self.obs.enabled:
+                self.obs.count("mutator.skipped")
         r, rates = self.rng, self.rates
         if r.random() < rates.drop:
             return self._did("drop", [])

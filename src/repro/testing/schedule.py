@@ -149,6 +149,9 @@ class CaseSetup:
     suite: InvariantSuite
     #: futures the driver must run to completion, in order
     futures: List[Any]
+    #: party id -> the protocol instance whose progress defines liveness;
+    #: the adversary harness derives its watchdog sentinels from these
+    probes: Dict[int, Any] = field(default_factory=dict)
 
 
 class Scenario:
@@ -244,7 +247,11 @@ class ChannelScenario(Scenario):
             suite.add(TotalOrderInvariant(channels, honest, live=live))
         if self.kind == "secure":
             suite.add(SecureCausalityInvariant(channels, honest))
-        return CaseSetup(suite=suite, futures=[channels[i].closed for i in sorted(live)])
+        return CaseSetup(
+            suite=suite,
+            futures=[channels[i].closed for i in sorted(live)],
+            probes=dict(channels),
+        )
 
 
 class AgreementScenario(Scenario):
@@ -285,7 +292,9 @@ class AgreementScenario(Scenario):
             AgreementInvariant(instances, live, valid_values=valid)
         )
         return CaseSetup(
-            suite=suite, futures=[instances[i].decided for i in sorted(live)]
+            suite=suite,
+            futures=[instances[i].decided for i in sorted(live)],
+            probes=dict(instances),
         )
 
 
@@ -324,7 +333,9 @@ class LedgerScenario(Scenario):
             )
         )
         return CaseSetup(
-            suite=suite, futures=[replicas[i].channel.closed for i in sorted(live)]
+            suite=suite,
+            futures=[replicas[i].channel.closed for i in sorted(live)],
+            probes={i: rep.channel for i, rep in replicas.items()},
         )
 
 
@@ -466,7 +477,8 @@ def run_case(
     if compromised:
         factory = scenario.mutator_factory or ByzantineMutator
         mutator = factory(
-            group, compromised, rng_mod.derive(case_seed, "mutator")
+            group, compromised, rng_mod.derive(case_seed, "mutator"),
+            recorder=runtime.obs,
         )
         runtime.wire_taps.append(mutator)
     setup = scenario.setup(runtime, group, crashed=crashed, compromised=compromised)

@@ -18,10 +18,14 @@ _GROUP_CACHE = {}
 
 
 def pytest_collection_modifyitems(items):
-    """Everything under tests/fuzz carries the ``fuzz`` marker."""
+    """Everything under tests/fuzz carries the ``fuzz`` marker; everything
+    under tests/adversary the ``adversary`` marker."""
     for item in items:
-        if "/fuzz/" in str(getattr(item, "path", "")):
+        path = str(getattr(item, "path", ""))
+        if "/fuzz/" in path:
             item.add_marker(pytest.mark.fuzz)
+        if "/adversary/" in path:
+            item.add_marker(pytest.mark.adversary)
 
 
 def pytest_addoption(parser):
