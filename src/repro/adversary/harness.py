@@ -36,9 +36,11 @@ suite can demonstrate where ``t + 1`` intrusions break agreement.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.adversary.context import AdversarialContext
@@ -360,14 +362,71 @@ def campaign(
     return failures
 
 
+def dump_artifact_path(dump_dir: str, result: AdversaryResult) -> str:
+    """A unique, timestamped artifact path for one failure's state dump."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S")
+    base = (
+        f"liveness-{stamp}-{result.scenario}-{result.strategy}"
+        f"-{hex(result.case_seed)}"
+    )
+    path = os.path.join(dump_dir, f"{base}.json")
+    serial = 1
+    while os.path.exists(path):
+        path = os.path.join(dump_dir, f"{base}-{serial}.json")
+        serial += 1
+    return path
+
+
+def write_failure_dumps(failures: Sequence[AdversaryResult]) -> List[str]:
+    """Write each liveness failure's protocol-state dump to ``ADV_DUMP_DIR``.
+
+    When the environment variable names a directory, every failure that
+    carries a watchdog dump gets one timestamped JSON artifact there —
+    the full sentinel fingerprints and failure-detector suspects that a
+    one-line ``ADV-REPRO:`` summary cannot hold.  Returns the written
+    paths (empty when the variable is unset or nothing had a dump).
+    """
+    dump_dir = os.environ.get("ADV_DUMP_DIR")
+    if not dump_dir:
+        return []
+    os.makedirs(dump_dir, exist_ok=True)
+    written: List[str] = []
+    for result in failures:
+        if not result.dump:
+            continue
+        path = dump_artifact_path(dump_dir, result)
+        artifact = {
+            "written_at": datetime.now(timezone.utc).isoformat(),
+            "scenario": result.scenario,
+            "strategy": result.strategy,
+            "n": result.n,
+            "t": result.t,
+            "case": hex(result.case_seed),
+            "adversaries": result.adversaries,
+            "kind": result.kind,
+            "error": result.error,
+            "replay": result.replay_command(),
+            "dump": result.dump,
+        }
+        with open(path, "w") as f:
+            json.dump(artifact, f, indent=2, sort_keys=True, default=repr)
+            f.write("\n")
+        written.append(path)
+    return written
+
+
 def report_failures(failures: Sequence[AdversaryResult]) -> str:
     """Human-readable failure report; also honors ``ADV_REPRO_FILE``.
 
     When the environment variable ``ADV_REPRO_FILE`` names a file, every
     repro line is appended there as well — CI uploads that file as the
-    artifact of a failing adversary job.
+    artifact of a failing adversary job.  ``ADV_DUMP_DIR`` additionally
+    collects full protocol-state dumps, one timestamped JSON file per
+    liveness failure (:func:`write_failure_dumps`).
     """
     lines = [f.repro_line() for f in failures]
+    for path in write_failure_dumps(failures):
+        lines.append(f"  state dump: {path}")
     text = "\n".join(lines)
     path = os.environ.get("ADV_REPRO_FILE")
     if path and lines:

@@ -22,6 +22,21 @@ whose instances stop contributing drifts ``alive -> suspect -> down``
 exactly like a silent peer does on the real TCP runtime, and the
 ``fd.suspect.entered`` / ``fd.suspect.cleared`` transition counters show
 detection latency in exported BENCH records.
+
+Beyond the original raise-on-stall test harness mode, the watchdog is
+also the stall *sensor* of the recovery orchestrator (:mod:`repro.heal`):
+
+* ``raise_on_stall=False`` turns detection into reporting — a stall
+  episode invokes the registered ``stall_listeners`` once instead of
+  aborting the run, and the deadline timer keeps re-arming until
+  :meth:`disarm`;
+* failure-detector transitions are exported through
+  ``transition_listeners`` (the :meth:`~repro.net.failure_detector.
+  FailureDetector.on_transition` callback path, not polling);
+* :meth:`suspend` / :meth:`resume` bracket windows where *no* progress is
+  expected by design — a membership epoch barrier freezes the channel on
+  every honest replica, which must not read as a liveness stall.  Resume
+  reseeds every sentinel's stall age.
 """
 
 from __future__ import annotations
@@ -87,6 +102,10 @@ class ProgressSentinel:
 def sentinel_for(name: str, party: int, obj: Any, future: Any = None) -> ProgressSentinel:
     """Build a sentinel for a protocol instance by duck-typing its surface.
 
+    * service-like (``applied_seq``) — progress is the applied sequence
+      number plus the *current* channel's delivery/backlog state; the
+      channel is re-read on every poll because membership reconfiguration
+      swaps it at each epoch transition;
     * agreement-like (``round`` + ``decided``) — progress is the round
       counter and the decision flag (paper: rounds entered vs. decided);
     * channel-like (``deliveries``) — progress is slots delivered, the
@@ -95,6 +114,40 @@ def sentinel_for(name: str, party: int, obj: Any, future: Any = None) -> Progres
     * anything else — the supplied ``future``'s resolution is the only
       observable progress.
     """
+    if hasattr(obj, "applied_seq"):
+        def svc_channel() -> Any:
+            return getattr(obj, "channel", None)
+
+        def svc_progress() -> Tuple:
+            ch = svc_channel()
+            if ch is None:
+                return (obj.applied_seq, 0, 0, True)
+            return (
+                obj.applied_seq,
+                len(ch.deliveries),
+                ch.pending(),
+                getattr(obj, "membership_epoch", 0),
+                bool(ch.is_closed()),
+            )
+
+        def svc_done() -> bool:
+            ch = svc_channel()
+            return ch is None or bool(ch.is_closed())
+
+        def svc_dump() -> Dict[str, Any]:
+            ch = svc_channel()
+            info: Dict[str, Any] = {
+                "kind": "service",
+                "applied_seq": obj.applied_seq,
+                "epoch": getattr(obj, "membership_epoch", 0),
+            }
+            if ch is not None:
+                info["delivered"] = len(ch.deliveries)
+                info["enqueued"] = ch.pending()
+                info["closed"] = bool(ch.is_closed())
+            return info
+
+        return ProgressSentinel(name, party, svc_progress, svc_done, svc_dump)
     if hasattr(obj, "decided"):
         def rounds() -> int:
             # binary agreement counts ``round``; multi-valued agreement
@@ -158,27 +211,56 @@ class LivenessWatchdog:
     into the runtime; :meth:`arm` schedules the recurring deadline check
     that raises :class:`LivenessViolation` — so a dead-silent run (no
     deliveries at all) is detected too, *before* the simulator idles out.
+
+    With ``raise_on_stall=False`` the deadline check *reports* instead:
+    each stall episode fires the ``stall_listeners`` once (re-firing only
+    after the sentinel makes progress again and re-stalls), and the timer
+    keeps re-arming until :meth:`disarm` — the mode the recovery
+    orchestrator runs in, where a stall is evidence to act on rather than
+    a test failure.
     """
 
     def __init__(
         self,
         deadline: float = 30.0,
         recorder: Optional[Recorder] = None,
+        raise_on_stall: bool = True,
     ):
         if deadline <= 0:
             raise ValueError("watchdog deadline must be positive")
         self.deadline = deadline
         self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.raise_on_stall = raise_on_stall
         self.sentinels: List[ProgressSentinel] = []
         self.detector: Optional[FailureDetector] = None
+        #: ``callback(sentinel, stalled_for)`` per newly observed stall episode.
+        self.stall_listeners: List[Callable[[ProgressSentinel, float], None]] = []
+        #: ``callback(peer, old, new)`` forwarded from the failure detector.
+        self.transition_listeners: List[Callable[[int, str, str], None]] = []
         self._clock: Callable[[], float] = lambda: 0.0
         self._runtime: Any = None
+        self._suspended = 0
+        self._reported: Dict[str, Tuple] = {}
+        self.active = False
         self.polls = 0
         self.stalls_detected = 0
 
     def watch(self, sentinel: ProgressSentinel) -> "LivenessWatchdog":
         self.sentinels.append(sentinel)
+        if self._runtime is not None:
+            # late addition (e.g. a replacement replica onboarded mid-run):
+            # seed its stall age now and start estimating its party.
+            now = self._clock()
+            sentinel.last_fingerprint = sentinel.progress()
+            sentinel.last_change = now
+            if self.detector is not None:
+                self.detector.add_peer(sentinel.party, now)
         return self
+
+    def unwatch(self, name: str) -> None:
+        """Drop sentinels by name (e.g. after their replica was evicted)."""
+        self.sentinels = [s for s in self.sentinels if s.name != name]
+        self._reported.pop(name, None)
 
     def attach(self, runtime: Any) -> "LivenessWatchdog":
         """Bind clocks, seed fingerprints, register the per-delivery poll."""
@@ -194,11 +276,17 @@ class LivenessWatchdog:
                 now=now,
                 recorder=self.obs,
             )
+        if self.detector is not None:
+            self.detector.on_transition(self._on_fd_transition)
         for s in self.sentinels:
             s.last_fingerprint = s.progress()
             s.last_change = now
         runtime.delivery_listeners.append(self._on_delivery)
         return self
+
+    def _on_fd_transition(self, peer: int, old: str, new: str) -> None:
+        for callback in self.transition_listeners:
+            callback(peer, old, new)
 
     # -- polling -----------------------------------------------------------------
 
@@ -218,14 +306,48 @@ class LivenessWatchdog:
                     self.detector.touch(s.party, now)
                 if self.obs.enabled:
                     self.obs.count("liveness.progress")
-        if self.detector is not None:
+        if self.detector is not None and not self._suspended:
             self.detector.states(now)  # roll suspicion transitions forward
+
+    # -- barrier suspension ------------------------------------------------------
+
+    def suspend(self) -> None:
+        """Enter a window where silence is expected (epoch barrier freeze).
+
+        While suspended, :meth:`stalled` reports nothing and the deadline
+        check is a no-op — a membership reconfiguration legitimately stops
+        all delivery progress between the barrier slot and the epoch
+        transition, and that pause must not read as a liveness stall.
+        Nestable; pair every call with :meth:`resume`.
+        """
+        self._suspended += 1
+        if self.obs.enabled:
+            self.obs.count("liveness.barrier.suspends")
+
+    def resume(self) -> None:
+        """Leave the expected-silence window; restart every stall clock."""
+        if self._suspended == 0:
+            raise ValueError("resume() without matching suspend()")
+        self._suspended -= 1
+        if self._suspended == 0:
+            now = self._clock()
+            for s in self.sentinels:
+                s.last_fingerprint = s.progress()
+                s.last_change = now
+                if self.detector is not None:
+                    self.detector.touch(s.party, now)
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspended > 0
 
     # -- stall detection ---------------------------------------------------------
 
     def stalled(self) -> List[ProgressSentinel]:
         """Unfinished sentinels past the deadline, oldest stall first."""
         self.poll()
+        if self._suspended:
+            return []
         now = self._clock()
         out = [
             s
@@ -284,17 +406,54 @@ class LivenessWatchdog:
         simulator always has a future event pending up to the moment the
         watchdog either declares the run live (all done) or raises.  The
         raise propagates out of ``run_until`` to the harness.
+
+        In report mode (``raise_on_stall=False``) stalls fire the
+        ``stall_listeners`` instead and the timer re-arms until
+        :meth:`disarm` — callers must disarm before letting the simulator
+        idle out, or the pending check keeps the run alive forever.
         """
         if self._runtime is None:
             raise ValueError("attach() the watchdog to a runtime before arm()")
+        self.active = True
         self._schedule_check()
+
+    def disarm(self) -> None:
+        """Stop the recurring deadline check after the next firing."""
+        self.active = False
 
     def _schedule_check(self) -> None:
         self._runtime.sim.schedule(self.deadline, self._deadline_check)
 
     def _deadline_check(self) -> None:
+        if not self.active:
+            return
         if self.obs.enabled:
             self.obs.count("liveness.checks")
-        self.check()  # raises on stall
-        if any(not s.done() for s in self.sentinels):
-            self._schedule_check()
+        if self.raise_on_stall:
+            self.check()  # raises on stall
+            if any(not s.done() for s in self.sentinels):
+                self._schedule_check()
+            else:
+                self.active = False
+            return
+        self._report_stalls()
+        self._schedule_check()
+
+    def _report_stalls(self) -> None:
+        """Fire ``stall_listeners`` once per stall episode (report mode).
+
+        A sentinel that keeps stalling on the same fingerprint is reported
+        once; it becomes reportable again only after making progress.
+        """
+        now = self._clock()
+        for s in self.stalled():
+            fp = s.last_fingerprint
+            if self._reported.get(s.name) == fp and fp is not None:
+                continue
+            self._reported[s.name] = fp if fp is not None else ()
+            self.stalls_detected += 1
+            if self.obs.enabled:
+                self.obs.count("liveness.stalls")
+            stalled_for = now - s.last_change
+            for callback in self.stall_listeners:
+                callback(s, stalled_for)

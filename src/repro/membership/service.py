@@ -88,6 +88,12 @@ class ReconfigurableService(RecoverableService):
         self._reconfiguring = False
         self._e2e_open = False
         self._crypto_epoch = 0
+        #: ``callback(event, value)`` where event is ``"barrier"`` (value:
+        #: the frozen channel's round) or ``"epoch"`` (value: the epoch
+        #: just entered).  The liveness watchdog suspends across the
+        #: barrier window through this hook; the recovery orchestrator
+        #: tracks commit progress through it.
+        self.epoch_listeners: List[Any] = []
         super().__init__(party, pid, state_machine, directory, **kwargs)
         stored = self._load_epoch_state()
         #: the durable epoch floor: state transfer refuses to adopt any
@@ -198,6 +204,21 @@ class ReconfigurableService(RecoverableService):
         roster (the mobile-adversary countermeasure)."""
         return self.reconfigure(MembershipChange("refresh"))
 
+    def drain_and_replace(self, slot: int, member: str) -> int:
+        """Evict the replica in ``slot`` and seat ``member`` there, in one
+        epoch step.  Every share rotates at the barrier, so the evicted
+        replica's material is stale the moment the change commits — this
+        is the programmatic surgery primitive the recovery orchestrator
+        (:mod:`repro.heal`) drives; the evicted replica must already be
+        fenced (shut down) by the caller."""
+        return self.reconfigure(MembershipChange("replace", slot=slot, member=member))
+
+    def retire_slot(self, slot: int) -> int:
+        """Evict the replica in ``slot`` leaving the seat vacant (at most
+        ``t`` vacancies).  Used when no spare replica is available — the
+        group degrades but stale shares still rotate out."""
+        return self.reconfigure(MembershipChange("retire", slot=slot))
+
     def submit(self, command: bytes, epoch: Optional[int] = None) -> None:
         if self._reconfiguring:
             raise ReconfigInProgress(
@@ -242,6 +263,8 @@ class ReconfigurableService(RecoverableService):
         self._reconfiguring = True
         if self.obs.enabled:
             self.obs.count("membership.barrier")
+        for callback in self.epoch_listeners:
+            callback("barrier", _round)
 
     # -- ordered command handling ----------------------------------------------------
 
@@ -288,6 +311,8 @@ class ReconfigurableService(RecoverableService):
             if self._e2e_open:
                 self._e2e_open = False
                 self.obs.phase_end(self._mem_scope())
+        for callback in self.epoch_listeners:
+            callback("epoch", new_roster.epoch)
 
     # -- durable state across the epoch boundary --------------------------------------
 

@@ -27,7 +27,7 @@ trivially checkable in unit tests with a synthetic clock.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.obs.recorder import NULL as NULL_RECORDER
@@ -52,6 +52,14 @@ class FailureDetector:
     function of the last-progress timestamps, so transitions are noted at
     observation time: whenever :meth:`state`, :meth:`states` or
     :meth:`touch` recomputes a peer's classification.
+
+    Consumers that need to *react* to a classification change register a
+    callback with :meth:`on_transition` and receive ``(peer, old, new)``
+    the first time the change is observed.  This is the supported signal
+    path for degradation policy and the recovery orchestrator
+    (:mod:`repro.heal`); polling :meth:`states` (or the TCP runtime's
+    ``peer_states()`` mirror) for edge detection is deprecated — pollers
+    race the estimator and double-count transitions.
     """
 
     def __init__(
@@ -69,10 +77,30 @@ class FailureDetector:
         self.obs = recorder if recorder is not None else NULL_RECORDER
         self._last: Dict[int, float] = {peer: now for peer in peers}
         self._noted: Dict[int, str] = {peer: ALIVE for peer in self._last}
+        self._listeners: List[Callable[[int, str, str], None]] = []
 
     @property
     def peers(self) -> List[int]:
         return sorted(self._last)
+
+    def on_transition(self, callback: Callable[[int, str, str], None]) -> None:
+        """Register ``callback(peer, old, new)`` for state transitions.
+
+        Invoked the first time a classification change is observed (the
+        same edge the ``fd.*`` counters record), in registration order.
+        Callbacks run inline with whatever call noticed the edge
+        (:meth:`touch`, :meth:`state`, :meth:`states`), so they must be
+        cheap and must not re-enter the detector.
+        """
+        self._listeners.append(callback)
+
+    def add_peer(self, peer: int, now: float) -> None:
+        """Start estimating a peer that joined after construction (e.g. a
+        replacement replica onboarded mid-run).  No-op if already known."""
+        if peer in self._last:
+            return
+        self._last[peer] = now
+        self._noted[peer] = ALIVE
 
     def touch(self, peer: int, now: float) -> None:
         """Record a progress event from ``peer`` (monotone: never rewinds)."""
@@ -102,14 +130,15 @@ class FailureDetector:
         if state == previous:
             return
         self._noted[peer] = state
-        if not self.obs.enabled:
-            return
-        if previous == ALIVE and state in (SUSPECT, DOWN):
-            self.obs.count("fd.suspect.entered")
-        if state == DOWN:
-            self.obs.count("fd.down.entered")
-        if state == ALIVE:
-            self.obs.count("fd.suspect.cleared")
+        if self.obs.enabled:
+            if previous == ALIVE and state in (SUSPECT, DOWN):
+                self.obs.count("fd.suspect.entered")
+            if state == DOWN:
+                self.obs.count("fd.down.entered")
+            if state == ALIVE:
+                self.obs.count("fd.suspect.cleared")
+        for callback in self._listeners:
+            callback(peer, previous, state)
 
     def states(self, now: float) -> Dict[int, str]:
         return {peer: self.state(peer, now) for peer in self._last}

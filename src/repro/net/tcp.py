@@ -378,6 +378,10 @@ class TcpNode:
             now=loop.time(),
             recorder=self.obs,
         )
+        # Event-driven mirror of the per-peer classification: the gauge
+        # updates on every observed transition, so consumers (and BENCH
+        # exports) never need to poll peer_states() for edge detection.
+        self.failure_detector.on_transition(self._on_fd_transition)
         host, port = self.listen_endpoint
         self._server = await asyncio.start_server(self._on_peer, host, port)
         for peer in peers:
@@ -726,8 +730,17 @@ class TcpNode:
         for peer, link_stats in per_peer.items():
             self.obs.set_gauge(f"tcp.peer.{peer}.state", link_stats.state)
 
+    def _on_fd_transition(self, peer: int, old: str, new: str) -> None:
+        if self.obs.enabled:
+            self.obs.set_gauge(f"tcp.peer.{peer}.state", new)
+
     def peer_states(self) -> Dict[int, str]:
-        """Failure-detector classification of every peer, right now."""
+        """Failure-detector classification of every peer, right now.
+
+        A point-in-time snapshot for reporting.  Do not poll this to
+        *detect* state changes — register a callback with
+        ``failure_detector.on_transition`` instead (pollers race the
+        estimator and miss or double-count edges)."""
         if self.failure_detector is None:
             return {}
         states = self.failure_detector.states(asyncio.get_running_loop().time())

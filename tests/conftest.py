@@ -18,14 +18,17 @@ _GROUP_CACHE = {}
 
 
 def pytest_collection_modifyitems(items):
-    """Everything under tests/fuzz carries the ``fuzz`` marker; everything
-    under tests/adversary the ``adversary`` marker."""
+    """Everything under tests/fuzz carries the ``fuzz`` marker, everything
+    under tests/adversary the ``adversary`` marker, and everything under
+    tests/heal the ``heal`` marker."""
     for item in items:
         path = str(getattr(item, "path", ""))
         if "/fuzz/" in path:
             item.add_marker(pytest.mark.fuzz)
         if "/adversary/" in path:
             item.add_marker(pytest.mark.adversary)
+        if "/heal/" in path:
+            item.add_marker(pytest.mark.heal)
 
 
 def pytest_addoption(parser):

@@ -72,3 +72,57 @@ def test_parameter_validation():
         FailureDetector([1], suspect_after=2.0, down_after=1.0)
     with pytest.raises(ConfigError):
         FailureDetector([1], suspect_after=0.0, down_after=1.0)
+
+
+# -- transition callbacks (the supported edge-detection path) --------------------------
+
+
+def _edges(fd):
+    seen = []
+    fd.on_transition(lambda peer, old, new: seen.append((peer, old, new)))
+    return seen
+
+
+def test_on_transition_fires_once_per_edge():
+    fd = _fd()
+    seen = _edges(fd)
+    fd.states(1.5)  # everyone crosses into suspect
+    fd.states(1.6)  # observed again: same classification, no new edge
+    assert sorted(seen) == [
+        (1, ALIVE, SUSPECT),
+        (2, ALIVE, SUSPECT),
+        (3, ALIVE, SUSPECT),
+    ]
+
+
+def test_on_transition_sees_full_lifecycle():
+    fd = _fd()
+    seen = _edges(fd)
+    fd.state(1, 1.5)
+    fd.state(1, 3.5)
+    fd.touch(1, 4.0)
+    assert seen == [
+        (1, ALIVE, SUSPECT),
+        (1, SUSPECT, DOWN),
+        (1, DOWN, ALIVE),
+    ]
+
+
+def test_on_transition_multiple_listeners_in_order():
+    fd = _fd()
+    order = []
+    fd.on_transition(lambda *a: order.append(("first", a)))
+    fd.on_transition(lambda *a: order.append(("second", a)))
+    fd.state(1, 2.0)
+    assert [tag for tag, _ in order] == ["first", "second"]
+
+
+def test_add_peer_starts_alive_and_is_idempotent():
+    fd = _fd()
+    seen = _edges(fd)
+    fd.add_peer(9, now=5.0)
+    assert fd.state(9, 5.5) == ALIVE
+    fd.add_peer(9, now=50.0)  # no-op: must not rewind last-progress
+    assert fd.last_progress(9) == 5.0
+    assert fd.state(9, 6.5) == SUSPECT
+    assert (9, ALIVE, SUSPECT) in seen
